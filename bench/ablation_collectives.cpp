@@ -1,0 +1,35 @@
+// Ablation C: collective algorithm (binomial tree vs linear).
+//
+// The Otter run-time's broadcasts/reductions use binomial trees on switched
+// fabrics. This ablation swaps in the naive linear algorithm (root talks to
+// every rank directly) and measures the n-body script, whose per-step mean()
+// and scalar broadcasts make collective latency the dominant cost.
+#include "figure_common.hpp"
+
+int main() {
+  using namespace otter;
+  using namespace otter::bench;
+
+  std::printf("=== Ablation C: collective algorithms (tree vs linear) ===\n");
+  std::printf("n-body script, virtual seconds (lower is better)\n\n");
+  std::printf("%-18s %4s %12s %12s %9s\n", "machine", "P", "binomial",
+              "linear", "ratio");
+
+  std::string src = with_size(load_script("nbody.m"), "n", 5000);
+  Workload work(src);
+  for (MachinePoints m : paper_machines()) {
+    for (int p : {8, m.profile.max_ranks}) {
+      if (p > m.profile.max_ranks) continue;
+      mpi::MachineProfile tree = m.profile;
+      mpi::MachineProfile linear = m.profile;
+      linear.linear_collectives = true;
+      double tt = work.compiled_seconds(tree, p);
+      double tl = work.compiled_seconds(linear, p);
+      std::printf("%-18s %4d %12.4f %12.4f %8.2fx\n", m.profile.name.c_str(),
+                  p, tt, tl, tl / tt);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\n");
+  return 0;
+}

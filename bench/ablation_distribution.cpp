@@ -1,0 +1,48 @@
+// Ablation A: data-distribution strategy.
+//
+// The paper: "Data distribution decisions are made within the run-time
+// library, simplifying the design of the compiler and making it easier to
+// experiment with alternative data distribution strategies."
+// We compare the paper's row-contiguous/block distribution against a cyclic
+// distribution on the matmul-heavy (transitive closure) and matvec-heavy
+// (conjugate gradient) workloads. Cyclic loses on operations that exploit
+// contiguity (row extraction, trapz boundary exchange, slice locality).
+#include "figure_common.hpp"
+
+int main() {
+  using namespace otter;
+  using namespace otter::bench;
+
+  std::printf("=== Ablation A: data distribution (block vs cyclic) ===\n");
+  std::printf("virtual seconds on meiko_cs2 (lower is better)\n\n");
+  std::printf("%-22s %4s %12s %12s %9s\n", "script", "P", "row-block",
+              "cyclic", "ratio");
+
+  struct Case {
+    const char* label;
+    const char* file;
+    long size;  // reduced problem size for the sweep
+  };
+  const Case cases[] = {
+      {"transitive closure", "transclos.m", 192},
+      {"conjugate gradient", "cg.m", 1024},
+      {"ocean engineering", "ocean.m", 8192},
+  };
+  for (const Case& c : cases) {
+    std::string src = with_size(load_script(c.file), "n", c.size);
+    Workload work(src);
+    for (int p : {4, 16}) {
+      driver::ExecOptions block;
+      block.dist = rt::Dist::RowBlock;
+      driver::ExecOptions cyclic;
+      cyclic.dist = rt::Dist::Cyclic;
+      double tb = work.compiled_seconds(mpi::meiko_cs2(), p, block);
+      double tc = work.compiled_seconds(mpi::meiko_cs2(), p, cyclic);
+      std::printf("%-22s %4d %12.4f %12.4f %8.2fx\n", c.label, p, tb, tc,
+                  tc / tb);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\n");
+  return 0;
+}

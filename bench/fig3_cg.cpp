@@ -1,0 +1,10 @@
+// Reproduces Figure 3: performance of the compiled conjugate gradient
+// script relative to the MATLAB interpreter on a single CPU.
+#include "figure_common.hpp"
+
+int main() {
+  using namespace otter::bench;
+  run_speedup_figure("Figure 3", "conjugate gradient (n = 2048)", "cg.m",
+                     load_script("cg.m"));
+  return 0;
+}

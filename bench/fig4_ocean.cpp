@@ -1,0 +1,13 @@
+// Reproduces Figure 4: speedup of the ocean engineering (Morrison equation)
+// script. O(n) operations on a modest data set => communication-bound, low
+// speedup (the paper: "the grain size of the typical computation is
+// relatively small, increasing the overall impact of interprocessor
+// communication").
+#include "figure_common.hpp"
+
+int main() {
+  using namespace otter::bench;
+  run_speedup_figure("Figure 4", "ocean engineering wave force (n = 16384)",
+                     "ocean.m", load_script("ocean.m"));
+  return 0;
+}

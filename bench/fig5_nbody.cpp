@@ -1,0 +1,10 @@
+// Reproduces Figure 5: speedup of the n-body simulation (5,000 particles).
+// Also O(n) per step; exercises mean() and the run-time broadcast.
+#include "figure_common.hpp"
+
+int main() {
+  using namespace otter::bench;
+  run_speedup_figure("Figure 5", "n-body simulation (n = 5000)", "nbody.m",
+                     load_script("nbody.m"));
+  return 0;
+}

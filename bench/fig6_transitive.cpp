@@ -1,0 +1,11 @@
+// Reproduces Figure 6: speedup of transitive closure via repeated matrix
+// multiplication — O(n^3) work, the paper's best-scaling benchmark
+// ("78 times faster on 16 nodes of the Meiko CS-2").
+#include "figure_common.hpp"
+
+int main() {
+  using namespace otter::bench;
+  run_speedup_figure("Figure 6", "transitive closure (n = 384)", "transclos.m",
+                     load_script("transclos.m"));
+  return 0;
+}

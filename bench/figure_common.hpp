@@ -1,0 +1,164 @@
+// Shared harness for reproducing the paper's figures.
+//
+// Each figure binary loads one of the four benchmark scripts, measures the
+// interpreter baseline (single CPU), then runs the compiled program on every
+// (machine, rank-count) point the paper plots, reporting speedup =
+// interpreter-time / max-rank-virtual-time — exactly the quantity on the
+// paper's y axes ("speedup over MATLAB").
+//
+// The compiled program runs through generated C (host compiler + dlopen)
+// when a toolchain is present, falling back to the direct LIR executor.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "codegen/ccrun.hpp"
+#include "driver/pipeline.hpp"
+
+namespace otter::bench {
+
+inline std::string scripts_dir() {
+#ifdef OTTER_SCRIPTS_DIR
+  return OTTER_SCRIPTS_DIR;
+#else
+  return "scripts";
+#endif
+}
+
+inline std::string load_script(const std::string& name) {
+  std::string path = scripts_dir() + "/" + name;
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << '\n';
+    std::exit(1);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Replaces the first "name = <number>;" line (problem-size override).
+inline std::string with_size(std::string script, const std::string& var,
+                             long value) {
+  std::string needle = var + " = ";
+  size_t pos = script.find(needle);
+  if (pos == std::string::npos) return script;
+  size_t end = script.find(';', pos);
+  return script.substr(0, pos + needle.size()) + std::to_string(value) +
+         script.substr(end);
+}
+
+/// One compiled workload ready to run on any (machine, P) point.
+class Workload {
+ public:
+  explicit Workload(std::string source) : source_(std::move(source)) {
+    compiled_ = driver::compile_script(source_);
+    if (!compiled_->ok) {
+      std::cerr << "benchmark script failed to compile:\n"
+                << compiled_->diags.to_string();
+      std::exit(1);
+    }
+    if (codegen::CompiledProgram::toolchain_available()) {
+      std::string error;
+      program_ = codegen::CompiledProgram::build(compiled_->lir, &error);
+      if (!program_) {
+        std::cerr << "note: generated-code path unavailable (" << error
+                  << "); using the direct executor\n";
+      }
+    }
+  }
+
+  /// Interpreter baseline: single-CPU seconds.
+  double interpreter_seconds() {
+    driver::InterpRun run = driver::run_interpreter(source_);
+    return run.cpu_seconds;
+  }
+
+  [[nodiscard]] bool uses_generated_code() const {
+    return program_.has_value();
+  }
+
+  /// Max-rank virtual time of the compiled program on `profile` x `np`.
+  double compiled_seconds(const mpi::MachineProfile& profile, int np,
+                          const driver::ExecOptions& opts = {}) {
+    if (program_) {
+      std::ostringstream out;
+      mpi::RunResult r = mpi::run_spmd(profile, np, [&](mpi::Comm& comm) {
+        program_->run(comm, out, opts);
+      });
+      return r.max_vtime();
+    }
+    driver::ParallelRun r =
+        driver::run_parallel(compiled_->lir, profile, np, opts);
+    return r.times.max_vtime();
+  }
+
+  [[nodiscard]] const lower::LProgram& lir() const { return compiled_->lir; }
+
+ private:
+  std::string source_;
+  std::unique_ptr<driver::CompileResult> compiled_;
+  std::optional<codegen::CompiledProgram> program_;
+};
+
+struct MachinePoints {
+  mpi::MachineProfile profile;
+  std::vector<int> ranks;
+};
+
+/// The three paper test beds with the rank counts the figures sweep.
+inline std::vector<MachinePoints> paper_machines() {
+  return {
+      {mpi::meiko_cs2(), {1, 2, 4, 8, 16}},
+      {mpi::sparc20_cluster(), {1, 2, 4, 8, 16}},
+      {mpi::enterprise_smp(), {1, 2, 4, 8}},
+  };
+}
+
+/// Prints one paper speedup figure as a table.
+inline void run_speedup_figure(const std::string& figure_id,
+                               const std::string& title,
+                               const std::string& script_name,
+                               std::string source) {
+  std::printf("=== %s: %s ===\n", figure_id.c_str(), title.c_str());
+  std::printf("script: %s\n", script_name.c_str());
+
+  Workload work(std::move(source));
+  double interp = work.interpreter_seconds();
+  std::printf("MATLAB-interpreter stand-in, 1 CPU: %.3f s\n", interp);
+  std::printf("backend: %s\n", work.uses_generated_code()
+                                   ? "generated C (host compiler)"
+                                   : "direct executor");
+  std::printf("%-18s", "machine \\ CPUs");
+  for (int p : {1, 2, 4, 8, 16}) std::printf("%8d", p);
+  std::printf("\n");
+
+  for (const MachinePoints& m : paper_machines()) {
+    std::printf("%-18s", m.profile.name.c_str());
+    // The paper plots speedup over the interpreter on one CPU of the same
+    // machine, so the baseline carries that machine's cpu_scale too.
+    double baseline = interp * m.profile.cpu_scale;
+    for (int p : {1, 2, 4, 8, 16}) {
+      bool in_sweep = false;
+      for (int q : m.ranks) in_sweep |= (q == p);
+      if (!in_sweep || p > m.profile.max_ranks) {
+        std::printf("%8s", "-");
+        continue;
+      }
+      double t = work.compiled_seconds(m.profile, p);
+      std::printf("%8.1f", baseline / t);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("(values are speedup over the interpreter, as in the paper's "
+              "figure)\n\n");
+}
+
+}  // namespace otter::bench

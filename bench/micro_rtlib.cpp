@@ -1,0 +1,92 @@
+// Micro-benchmarks of the run-time library's core operations
+// (google-benchmark). Single rank, ideal network: pure local cost.
+#include <benchmark/benchmark.h>
+
+#include "rtlib/dmatrix.hpp"
+
+namespace {
+
+using namespace otter;
+using rt::DMat;
+
+/// Runs `body` once inside a 1-rank SPMD region per benchmark iteration.
+template <typename F>
+void spmd1(benchmark::State& state, F body) {
+  mpi::run_spmd(mpi::ideal(1), 1, [&](mpi::Comm& comm) {
+    for (auto _ : state) {
+      body(comm);
+    }
+  });
+}
+
+void BM_MatMul(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  spmd1(state, [&](mpi::Comm& comm) {
+    DMat a = rt::fill_rand(comm, n, n, 1, 0);
+    DMat b = rt::fill_rand(comm, n, n, 1, n * n);
+    DMat c = rt::matmul(comm, a, b);
+    benchmark::DoNotOptimize(c.local().data());
+  });
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * n * n));
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatVec(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  spmd1(state, [&](mpi::Comm& comm) {
+    DMat a = rt::fill_rand(comm, n, n, 1, 0);
+    DMat x = rt::fill_rand(comm, n, 1, 1, n * n);
+    DMat y = rt::matvec(comm, a, x);
+    benchmark::DoNotOptimize(y.local().data());
+  });
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * n));
+}
+BENCHMARK(BM_MatVec)->Arg(256)->Arg(1024)->Arg(2048);
+
+void BM_Dot(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  spmd1(state, [&](mpi::Comm& comm) {
+    DMat a = rt::fill_rand(comm, n, 1, 1, 0);
+    DMat b = rt::fill_rand(comm, n, 1, 1, n);
+    double d = rt::dot(comm, a, b);
+    benchmark::DoNotOptimize(d);
+  });
+}
+BENCHMARK(BM_Dot)->Arg(1024)->Arg(65536);
+
+void BM_Elemwise(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  spmd1(state, [&](mpi::Comm& comm) {
+    DMat a = rt::fill_rand(comm, 1, n, 1, 0);
+    DMat b = rt::fill_rand(comm, 1, n, 1, n);
+    DMat c = rt::ew_binary(comm, rt::EwBin::Add, a, b);
+    benchmark::DoNotOptimize(c.local().data());
+  });
+}
+BENCHMARK(BM_Elemwise)->Arg(1024)->Arg(65536);
+
+void BM_Transpose(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  spmd1(state, [&](mpi::Comm& comm) {
+    DMat a = rt::fill_rand(comm, n, n, 1, 0);
+    DMat t = rt::transpose(comm, a);
+    benchmark::DoNotOptimize(t.local().data());
+  });
+}
+BENCHMARK(BM_Transpose)->Arg(64)->Arg(256);
+
+void BM_Trapz(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  spmd1(state, [&](mpi::Comm& comm) {
+    DMat y = rt::fill_rand(comm, 1, n, 1, 0);
+    double v = rt::trapz(comm, y);
+    benchmark::DoNotOptimize(v);
+  });
+}
+BENCHMARK(BM_Trapz)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

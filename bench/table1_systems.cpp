@@ -1,0 +1,35 @@
+// Reproduces Table 1: experimental and commercial MATLAB-based systems
+// targeting parallel computers (documentation table; printed verbatim so the
+// bench suite regenerates every exhibit in the paper).
+#include <cstdio>
+
+int main() {
+  std::printf(
+      "=== Table 1: MATLAB systems targeting parallel computers ===\n"
+      "%-18s %-34s %-28s\n"
+      "%-18s %-34s %-28s\n",
+      "Name", "Site", "Implementation",
+      "----", "----", "--------------");
+  struct Row {
+    const char* name;
+    const char* site;
+    const char* impl;
+  };
+  const Row rows[] = {
+      {"MATLAB Toolbox", "University of Rostock, Germany", "Interpreter"},
+      {"MultiMATLAB", "Cornell University", "Interpreter"},
+      {"Parallel Toolbox", "Wake Forest University", "Interpreter"},
+      {"Paramat", "Alpha Data Parallel Systems, UK", "Interpreter"},
+      {"CONLAB", "University of Umea, Sweden", "Compiles to C/PICL"},
+      {"FALCON", "University of Illinois", "Compiles to Fortran 90"},
+      {"Otter", "Oregon State University", "Compiles to C/MPI"},
+      {"RTExpress", "Integrated Sensors", "Compiles to C/MPI"},
+  };
+  for (const Row& r : rows) {
+    std::printf("%-18s %-34s %-28s\n", r.name, r.site, r.impl);
+  }
+  std::printf(
+      "\nOnly FALCON and Otter generate parallel code from pure MATLAB\n"
+      "(no extensions); this repository reproduces Otter.\n\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Compiler-explorer example: watch a MATLAB statement move through every
+// pass of the paper's pipeline — AST, SSA-annotated AST, statement-level IR
+// (with hoisted run-time calls and owner-computes guards), and finally the
+// generated SPMD C code.
+//
+// The input below is the paper's own Section 3 example:
+//     a = b * c + d(i,j);
+// "the multiplication of matrices b and c involves interprocessor
+//  communication … matrix element d(i,j) … must be broadcast to the other
+//  processors … matrix addition can be performed without any interprocessor
+//  communication" — look for ML_matrix_multiply, ML_broadcast, and the
+// element-wise for loop in the output.
+#include <iostream>
+
+#include "codegen/emit.hpp"
+#include "driver/pipeline.hpp"
+
+int main() {
+  const std::string script = R"(b = rand(64, 64);
+c = rand(64, 64);
+d = rand(64, 64);
+i = 3;
+j = 5;
+a = b * c + d(i, j);
+fprintf('%.6f\n', sum(sum(a)));
+)";
+
+  auto compiled = otter::driver::compile_script(script);
+  if (!compiled->ok) {
+    compiled->diags.print(std::cerr);
+    return 1;
+  }
+
+  std::cout << "================ 1. AST (with SSA versions) ================\n"
+            << dump_program(compiled->prog)
+            << "\n================ 2. statement-level IR =====================\n"
+            << otter::lower::dump_lir(compiled->lir)
+            << "\n================ 3. generated SPMD C code ==================\n"
+            << otter::codegen::emit_cpp(compiled->lir)
+            << "\n================ 4. run on 4 CPUs ==========================\n";
+
+  auto run = otter::driver::run_parallel(compiled->lir,
+                                         otter::mpi::meiko_cs2(), 4);
+  std::cout << run.output;
+  return 0;
+}

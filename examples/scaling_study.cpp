@@ -1,0 +1,62 @@
+// Scaling-study example: run any MATLAB script across the full
+// (machine x rank-count) grid and print its speedup table — the tool a user
+// would reach for to produce a figure like the paper's Figures 3-6 for
+// their own workload.
+//
+//   $ ./build/examples/scaling_study path/to/script.m
+//
+// With no argument it sweeps the bundled transitive-closure benchmark.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "driver/pipeline.hpp"
+
+int main(int argc, char** argv) {
+  std::string path = argc > 1 ? argv[1]
+                              : std::string(OTTER_SCRIPTS_DIR) + "/transclos.m";
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << '\n';
+    return 1;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string script = ss.str();
+
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  auto loader = otter::driver::dir_loader(dir);
+
+  auto interp = otter::driver::run_interpreter(script, loader);
+  std::printf("interpreter baseline: %.3f s\n", interp.cpu_seconds);
+
+  auto compiled = otter::driver::compile_script(script, loader);
+  if (!compiled->ok) {
+    compiled->diags.print(std::cerr);
+    return 1;
+  }
+
+  std::printf("%-18s", "machine \\ CPUs");
+  for (int p : {1, 2, 4, 8, 16}) std::printf("%8d", p);
+  std::printf("\n");
+  for (const auto& profile : {otter::mpi::meiko_cs2(),
+                              otter::mpi::sparc20_cluster(),
+                              otter::mpi::enterprise_smp()}) {
+    std::printf("%-18s", profile.name.c_str());
+    double baseline = interp.cpu_seconds * profile.cpu_scale;
+    for (int p : {1, 2, 4, 8, 16}) {
+      if (p > profile.max_ranks) {
+        std::printf("%8s", "-");
+        continue;
+      }
+      auto run = otter::driver::run_parallel(compiled->lir, profile, p);
+      std::printf("%8.1f", baseline / run.times.max_vtime());
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("(speedup over the interpreter)\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+% Conjugate gradient solver -- the paper's first benchmark application.
+% "The first application solves a positive definite system of 2048 linear
+%  equations using the conjugate gradient algorithm. The program makes
+%  extensive use of matrix-vector multiplication and vector dot product."
+n = 2048;
+iters = 25;
+
+% Symmetric positive definite system (diagonally dominant).
+a = rand(n, n);
+a = a + a';
+a = a + n * eye(n, n);
+b = rand(n, 1);
+
+x = zeros(n, 1);
+r = b;
+p = r;
+rho = r' * r;
+for it = 1:iters
+  q = a * p;
+  alpha = rho / (p' * q);
+  x = x + alpha * p;
+  r = r - alpha * q;
+  rho_new = r' * r;
+  beta = rho_new / rho;
+  rho = rho_new;
+  p = r + beta * p;
+end
+
+res = a * x - b;
+rn = sqrt(res' * res);
+if rn < 1e-4
+  disp('cg: converged');
+else
+  disp('cg: NOT converged');
+end
+fprintf('cg checksum %.6f\n', sum(x));

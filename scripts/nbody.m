@@ -1,0 +1,31 @@
+% N-body simulation -- the paper's third benchmark application.
+% "an n-body simulation for 5,000 particles. This algorithm uses the
+%  built-in function mean. In addition, it exercises the run-time library's
+%  broadcast function." O(n) work per step (centre-of-mass approximation).
+n = 5000;
+steps = 40;
+dt = 0.001;
+
+x = rand(n, 1);
+y = rand(n, 1);
+m = rand(n, 1) + 0.5;
+vx = zeros(n, 1);
+vy = zeros(n, 1);
+
+for step = 1:steps
+  % Centre of mass (mean) is broadcast to every processor.
+  cx = mean(x);
+  cy = mean(y);
+  total = sum(m);
+  dx = cx - x;
+  dy = cy - y;
+  d2 = dx .* dx + dy .* dy + 0.05;
+  f = total ./ d2;
+  vx = vx + dt * f .* dx;
+  vy = vy + dt * f .* dy;
+  x = x + dt * vx;
+  y = y + dt * vy;
+end
+
+fprintf('nbody com %.8f %.8f\n', mean(x), mean(y));
+fprintf('nbody checksum %.8f\n', sum(x) + sum(y));

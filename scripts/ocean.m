@@ -1,0 +1,44 @@
+% Ocean engineering benchmark -- the paper's second application.
+% "an ocean engineering application ... evaluates the nonlinear wave
+%  excitation force on a submerged sphere using the Morrison equation. It
+%  requires vector shifts, outer products, and calls to the built-in
+%  function trapz."
+n = 16384;
+nz = 24;
+
+% Wave kinematics over one period sampled at n points.
+t = linspace(0, 2 * pi, n);
+dt = t(2) - t(1);
+eta = 0.6 * sin(t) + 0.15 * sin(2 * t + 0.5);
+u = 1.2 * cos(t) + 0.2 * cos(2 * t);
+
+% Acceleration via a shifted finite difference (vector shift idiom).
+du = u(2:end) - u(1:end-1);
+dudt = zeros(1, n);
+dudt(1:n-1) = du / dt;
+dudt(n) = dudt(n-1);
+
+% Depth attenuation profile over the sphere's submerged column: the
+% velocity field over (depth x time) is an outer product.
+z = linspace(0.2, 2.2, nz)';
+decay = exp(-0.8 * z);
+ufield = decay * u;
+afield = decay * dudt;
+
+% Morrison equation per depth and time.
+rho = 1025;
+cd = 1.2;
+cm = 2.0;
+d = 0.5;
+area = pi * (d^2) / 4;
+fdrag = 0.5 * rho * cd * d * ufield .* abs(ufield);
+finert = rho * cm * area * afield;
+f = fdrag + finert;
+
+% Integrate over time at the sphere centre depth and over the column.
+fc = f(12, :);
+impulse = trapz(t, fc);
+power = trapz(t, fc .* u);
+peak = max(fc);
+fprintf('ocean impulse %.6f power %.6f peak %.4f\n', impulse, power, peak);
+fprintf('ocean checksum %.6f\n', sum(sum(f)) / n);

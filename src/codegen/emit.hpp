@@ -1,0 +1,30 @@
+// SPMD C code emission — the paper's final compiler pass.
+//
+// "The final compiler pass traverses the AST, emitting C code interspersed
+//  with calls to the run-time library."
+//
+// Two backends share this emitter:
+//  * parallel (the Otter product): SPMD code over distributed matrices,
+//    exactly the style of the paper's §3 examples — run-time library calls
+//    for communicating operations, local for-loops for element-wise math,
+//    owner-computes guards for element writes;
+//  * sequential (the MATCOM stand-in, Figure 2's commercial-compiler
+//    baseline): same emission restricted to one rank.
+#pragma once
+
+#include <string>
+
+#include "lower/lir.hpp"
+
+namespace otter::codegen {
+
+struct EmitOptions {
+  /// Name of the extern "C" entry point in the generated translation unit.
+  std::string entry_symbol = "otter_program";
+};
+
+/// Renders the lowered program as a self-contained C++ translation unit
+/// calling the Otter run-time library (see codegen/genrt.hpp).
+std::string emit_cpp(const lower::LProgram& prog, const EmitOptions& opts = {});
+
+}  // namespace otter::codegen

@@ -1,0 +1,25 @@
+// Direct SPMD executor: interprets LIR against the distributed run-time
+// library under minimpi. Semantically identical to the generated C code
+// (both call the same run-time functions); used by tests, examples, and the
+// benchmark harness without needing an external C compiler.
+#pragma once
+
+#include <iosfwd>
+
+#include "lower/lir.hpp"
+#include "minimpi/comm.hpp"
+
+namespace otter::driver {
+
+struct ExecOptions {
+  uint64_t rand_seed = 1;
+  rt::Dist dist = rt::Dist::RowBlock;  // data-distribution strategy
+};
+
+/// Runs the lowered program as this rank's part of the SPMD computation.
+/// Only rank 0 writes to `out`. Throws rt::RtError / mpi::MpiError on
+/// run-time failures.
+void execute_lir(const lower::LProgram& prog, mpi::Comm& comm,
+                 std::ostream& out, const ExecOptions& opts = {});
+
+}  // namespace otter::driver

@@ -1,0 +1,89 @@
+#include "driver/pipeline.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include <time.h>
+
+#include "interp/interp.hpp"
+
+namespace otter::driver {
+
+std::unique_ptr<CompileResult> compile_script(
+    const std::string& source, const sema::MFileLoader& loader,
+    const lower::LowerOptions& opts) {
+  auto r = std::make_unique<CompileResult>();
+  ParsedFile f = parse_string(source, r->sm, r->diags, "<script>");
+  if (r->diags.has_errors()) return r;
+  r->prog.script = std::move(f.script);
+  for (auto& fn : f.functions) {
+    r->prog.functions.emplace(fn->name, std::move(fn));
+  }
+  if (!sema::resolve_program(r->prog, r->sm, r->diags, loader)) return r;
+  r->inf = sema::infer_program(r->prog, r->diags);
+  if (r->diags.has_errors()) return r;
+  r->lir = lower::lower_program(r->prog, r->inf, r->diags, opts);
+  r->ok = !r->diags.has_errors();
+  return r;
+}
+
+sema::MFileLoader dir_loader(const std::string& dir) {
+  return [dir](const std::string& name) -> std::optional<std::string> {
+    std::ifstream in(dir + "/" + name + ".m", std::ios::binary);
+    if (!in) return std::nullopt;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+}
+
+ParallelRun run_parallel(const lower::LProgram& lir,
+                         const mpi::MachineProfile& profile, int nranks,
+                         const ExecOptions& opts) {
+  ParallelRun result;
+  std::ostringstream out;
+  result.times = mpi::run_spmd(profile, nranks, [&](mpi::Comm& comm) {
+    execute_lir(lir, comm, out, opts);
+  });
+  result.output = out.str();
+  return result;
+}
+
+namespace {
+double thread_cpu_seconds() {
+  struct timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+}  // namespace
+
+InterpRun run_interpreter(const std::string& source,
+                          const sema::MFileLoader& loader, uint64_t rand_seed) {
+  SourceManager sm;
+  DiagEngine diags(&sm);
+  ParsedFile f = parse_string(source, sm, diags, "<script>");
+  if (diags.has_errors()) {
+    throw std::runtime_error("parse error:\n" + diags.to_string());
+  }
+  Program prog;
+  prog.script = std::move(f.script);
+  for (auto& fn : f.functions) prog.functions.emplace(fn->name, std::move(fn));
+  // Resolve purely to pull in user M-files; the interpreter handles dynamic
+  // binding itself.
+  sema::resolve_program(prog, sm, diags, loader);
+  if (diags.has_errors()) {
+    throw std::runtime_error("resolve error:\n" + diags.to_string());
+  }
+
+  InterpRun run;
+  std::ostringstream out;
+  interp::Interp in(prog, out);
+  in.seed_rng(rand_seed);
+  double t0 = thread_cpu_seconds();
+  in.run();
+  run.cpu_seconds = thread_cpu_seconds() - t0;
+  run.output = out.str();
+  return run;
+}
+
+}  // namespace otter::driver

@@ -1,0 +1,57 @@
+// Whole-compiler pipeline: parse → resolve (pass 2) → SSA + inference
+// (pass 3) → lowering with expression rewriting, owner guards and peephole
+// (passes 4–6) → execution (direct SPMD executor, or C emission).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "driver/exec.hpp"
+#include "frontend/parser.hpp"
+#include "lower/lower.hpp"
+#include "minimpi/comm.hpp"
+#include "sema/infer.hpp"
+#include "sema/resolve.hpp"
+
+namespace otter::driver {
+
+struct CompileResult {
+  SourceManager sm;
+  DiagEngine diags{&sm};
+  Program prog;
+  sema::InferResult inf;
+  lower::LProgram lir;
+  bool ok = false;
+};
+
+/// Compiles a MATLAB script through every pass. `loader` supplies user
+/// M-files (see dir_loader). Check `->ok` / `->diags` before using `lir`.
+std::unique_ptr<CompileResult> compile_script(
+    const std::string& source, const sema::MFileLoader& loader = {},
+    const lower::LowerOptions& opts = {});
+
+/// M-file loader that searches `dir` for `<name>.m`.
+sema::MFileLoader dir_loader(const std::string& dir);
+
+struct ParallelRun {
+  std::string output;         // rank-0 program output
+  mpi::RunResult times;       // per-rank virtual times
+};
+
+/// Runs compiled LIR on `nranks` ranks of `profile` via the direct executor.
+ParallelRun run_parallel(const lower::LProgram& lir,
+                         const mpi::MachineProfile& profile, int nranks,
+                         const ExecOptions& opts = {});
+
+struct InterpRun {
+  std::string output;
+  double cpu_seconds = 0.0;   // single-CPU time of the interpreter
+};
+
+/// Runs the same source through the baseline interpreter (the paper's
+/// "MathWorks interpreter" stand-in), measuring CPU seconds.
+InterpRun run_interpreter(const std::string& source,
+                          const sema::MFileLoader& loader = {},
+                          uint64_t rand_seed = 1);
+
+}  // namespace otter::driver

@@ -1,0 +1,300 @@
+#include "frontend/ast.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace otter {
+
+const char* un_op_name(UnOp op) {
+  switch (op) {
+    case UnOp::Neg: return "neg";
+    case UnOp::Plus: return "plus";
+    case UnOp::Not: return "not";
+    case UnOp::Transpose: return "transpose";
+    case UnOp::CTranspose: return "ctranspose";
+  }
+  return "?";
+}
+
+const char* bin_op_name(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return "+";
+    case BinOp::Sub: return "-";
+    case BinOp::MatMul: return "*";
+    case BinOp::MatDiv: return "/";
+    case BinOp::MatLDiv: return "\\";
+    case BinOp::MatPow: return "^";
+    case BinOp::ElemMul: return ".*";
+    case BinOp::ElemDiv: return "./";
+    case BinOp::ElemPow: return ".^";
+    case BinOp::Lt: return "<";
+    case BinOp::Le: return "<=";
+    case BinOp::Gt: return ">";
+    case BinOp::Ge: return ">=";
+    case BinOp::Eq: return "==";
+    case BinOp::Ne: return "~=";
+    case BinOp::And: return "&";
+    case BinOp::Or: return "|";
+    case BinOp::AndAnd: return "&&";
+    case BinOp::OrOr: return "||";
+  }
+  return "?";
+}
+
+ExprPtr make_number(double v, bool is_int, SourceLoc loc) {
+  auto e = std::make_unique<Expr>(ExprKind::Number, loc);
+  e->number = v;
+  e->is_int_literal = is_int;
+  return e;
+}
+
+ExprPtr make_ident(std::string name, SourceLoc loc) {
+  auto e = std::make_unique<Expr>(ExprKind::Ident, loc);
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr make_unary(UnOp op, ExprPtr operand, SourceLoc loc) {
+  auto e = std::make_unique<Expr>(ExprKind::Unary, loc);
+  e->un_op = op;
+  e->lhs = std::move(operand);
+  return e;
+}
+
+ExprPtr make_binary(BinOp op, ExprPtr lhs, ExprPtr rhs, SourceLoc loc) {
+  auto e = std::make_unique<Expr>(ExprKind::Binary, loc);
+  e->bin_op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+ExprPtr make_call(std::string callee, std::vector<ExprPtr> args,
+                  SourceLoc loc) {
+  auto e = std::make_unique<Expr>(ExprKind::Call, loc);
+  e->name = std::move(callee);
+  e->args = std::move(args);
+  return e;
+}
+
+ExprPtr clone_expr(const Expr& e) {
+  auto c = std::make_unique<Expr>(e.kind, e.loc);
+  c->number = e.number;
+  c->is_int_literal = e.is_int_literal;
+  c->is_imaginary = e.is_imaginary;
+  c->name = e.name;
+  c->un_op = e.un_op;
+  c->bin_op = e.bin_op;
+  c->callee = e.callee;
+  c->ssa_version = e.ssa_version;
+  if (e.lhs) c->lhs = clone_expr(*e.lhs);
+  if (e.rhs) c->rhs = clone_expr(*e.rhs);
+  if (e.step) c->step = clone_expr(*e.step);
+  c->args.reserve(e.args.size());
+  for (const ExprPtr& a : e.args) c->args.push_back(clone_expr(*a));
+  c->rows.reserve(e.rows.size());
+  for (const auto& row : e.rows) {
+    std::vector<ExprPtr> r;
+    r.reserve(row.size());
+    for (const ExprPtr& el : row) r.push_back(clone_expr(*el));
+    c->rows.push_back(std::move(r));
+  }
+  return c;
+}
+
+namespace {
+
+void dump_expr_to(const Expr& e, std::ostream& os) {
+  switch (e.kind) {
+    case ExprKind::Number: {
+      std::ostringstream num;
+      num << e.number;
+      os << num.str();
+      if (e.is_imaginary) os << 'i';
+      break;
+    }
+    case ExprKind::String:
+      os << '\'' << e.name << '\'';
+      break;
+    case ExprKind::Ident:
+      os << e.name;
+      if (e.ssa_version >= 0) os << '.' << e.ssa_version;
+      break;
+    case ExprKind::Unary:
+      os << '(' << un_op_name(e.un_op) << ' ';
+      dump_expr_to(*e.lhs, os);
+      os << ')';
+      break;
+    case ExprKind::Binary:
+      os << '(' << bin_op_name(e.bin_op) << ' ';
+      dump_expr_to(*e.lhs, os);
+      os << ' ';
+      dump_expr_to(*e.rhs, os);
+      os << ')';
+      break;
+    case ExprKind::Range:
+      os << "(range ";
+      dump_expr_to(*e.lhs, os);
+      if (e.step) {
+        os << ' ';
+        dump_expr_to(*e.step, os);
+      }
+      os << ' ';
+      dump_expr_to(*e.rhs, os);
+      os << ')';
+      break;
+    case ExprKind::Call: {
+      const char* tag = "call";
+      if (e.callee == CalleeKind::Variable) tag = "index";
+      else if (e.callee == CalleeKind::Builtin) tag = "builtin";
+      else if (e.callee == CalleeKind::UserFunction) tag = "usercall";
+      os << '(' << tag << ' ' << e.name;
+      if (e.ssa_version >= 0) os << '.' << e.ssa_version;
+      for (const ExprPtr& a : e.args) {
+        os << ' ';
+        dump_expr_to(*a, os);
+      }
+      os << ')';
+      break;
+    }
+    case ExprKind::Matrix:
+      os << "(matrix";
+      for (const auto& row : e.rows) {
+        os << " [";
+        for (size_t i = 0; i < row.size(); ++i) {
+          if (i) os << ' ';
+          dump_expr_to(*row[i], os);
+        }
+        os << ']';
+      }
+      os << ')';
+      break;
+    case ExprKind::Colon:
+      os << ':';
+      break;
+    case ExprKind::End:
+      os << "end";
+      break;
+  }
+}
+
+void indent_to(std::ostream& os, int n) {
+  for (int i = 0; i < n; ++i) os << "  ";
+}
+
+void dump_stmt_to(const Stmt& s, std::ostream& os, int indent) {
+  indent_to(os, indent);
+  switch (s.kind) {
+    case StmtKind::ExprStmt:
+      os << "(expr ";
+      dump_expr_to(*s.expr, os);
+      os << ")\n";
+      break;
+    case StmtKind::Assign: {
+      os << "(assign";
+      for (const LValue& t : s.targets) {
+        os << ' ' << t.name;
+        if (t.ssa_version >= 0) os << '.' << t.ssa_version;
+        if (!t.indices.empty()) {
+          os << '(';
+          for (size_t i = 0; i < t.indices.size(); ++i) {
+            if (i) os << ", ";
+            dump_expr_to(*t.indices[i], os);
+          }
+          os << ')';
+        }
+      }
+      os << " = ";
+      dump_expr_to(*s.expr, os);
+      os << ")\n";
+      break;
+    }
+    case StmtKind::If:
+      os << "(if\n";
+      for (const IfArm& arm : s.arms) {
+        indent_to(os, indent + 1);
+        if (arm.cond) {
+          os << "(cond ";
+          dump_expr_to(*arm.cond, os);
+          os << ")\n";
+        } else {
+          os << "(else)\n";
+        }
+        for (const StmtPtr& b : arm.body) dump_stmt_to(*b, os, indent + 2);
+      }
+      indent_to(os, indent);
+      os << ")\n";
+      break;
+    case StmtKind::While:
+      os << "(while ";
+      dump_expr_to(*s.expr, os);
+      os << '\n';
+      for (const StmtPtr& b : s.body) dump_stmt_to(*b, os, indent + 1);
+      indent_to(os, indent);
+      os << ")\n";
+      break;
+    case StmtKind::For:
+      os << "(for " << s.loop_var;
+      if (s.loop_var_version >= 0) os << '.' << s.loop_var_version;
+      os << " = ";
+      dump_expr_to(*s.expr, os);
+      os << '\n';
+      for (const StmtPtr& b : s.body) dump_stmt_to(*b, os, indent + 1);
+      indent_to(os, indent);
+      os << ")\n";
+      break;
+    case StmtKind::Break:
+      os << "(break)\n";
+      break;
+    case StmtKind::Continue:
+      os << "(continue)\n";
+      break;
+    case StmtKind::Return:
+      os << "(return)\n";
+      break;
+    case StmtKind::Global:
+      os << "(global";
+      for (const std::string& n : s.names) os << ' ' << n;
+      os << ")\n";
+      break;
+  }
+}
+
+}  // namespace
+
+std::string dump_expr(const Expr& e) {
+  std::ostringstream ss;
+  dump_expr_to(e, ss);
+  return ss.str();
+}
+
+std::string dump_stmt(const Stmt& s, int indent) {
+  std::ostringstream ss;
+  dump_stmt_to(s, ss, indent);
+  return ss.str();
+}
+
+std::string dump_program(const Program& p) {
+  std::ostringstream ss;
+  ss << "(script\n";
+  for (const StmtPtr& s : p.script) dump_stmt_to(*s, ss, 1);
+  ss << ")\n";
+  // Deterministic function order for golden tests.
+  std::vector<const Function*> fns;
+  fns.reserve(p.functions.size());
+  for (const auto& [name, fn] : p.functions) fns.push_back(fn.get());
+  std::sort(fns.begin(), fns.end(),
+            [](const Function* a, const Function* b) { return a->name < b->name; });
+  for (const Function* fn : fns) {
+    ss << "(function " << fn->name << " (in";
+    for (const std::string& pn : fn->params) ss << ' ' << pn;
+    ss << ") (out";
+    for (const std::string& o : fn->outs) ss << ' ' << o;
+    ss << ")\n";
+    for (const StmtPtr& s : fn->body) dump_stmt_to(*s, ss, 1);
+    ss << ")\n";
+  }
+  return ss.str();
+}
+
+}  // namespace otter

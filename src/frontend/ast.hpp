@@ -1,0 +1,169 @@
+// Abstract syntax tree for the Otter MATLAB subset.
+//
+// The parser produces a Program: the initial script plus (after identifier
+// resolution, per the paper's second pass) every user M-file function pulled
+// in through a chain of references.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "support/source.hpp"
+
+namespace otter {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class ExprKind : uint8_t {
+  Number,      // numeric literal (integer / real / imaginary)
+  String,      // 'text'
+  Ident,       // variable or zero-argument function reference
+  Unary,
+  Binary,
+  Range,       // lo:hi or lo:step:hi
+  Call,        // f(args) — call or matrix indexing, disambiguated by sema
+  Matrix,      // [ ... ; ... ] literal
+  Colon,       // bare ':' inside an index list
+  End,         // 'end' inside an index list
+};
+
+enum class UnOp : uint8_t { Neg, Plus, Not, Transpose, CTranspose };
+
+enum class BinOp : uint8_t {
+  Add, Sub,
+  MatMul, MatDiv, MatLDiv, MatPow,   // * / \ ^
+  ElemMul, ElemDiv, ElemPow,         // .* ./ .^
+  Lt, Le, Gt, Ge, Eq, Ne,
+  And, Or,                            // & |
+  AndAnd, OrOr,                       // && || (short-circuit, scalar)
+};
+
+[[nodiscard]] const char* un_op_name(UnOp op);
+[[nodiscard]] const char* bin_op_name(BinOp op);
+
+/// How sema resolved a Call/Ident expression.
+enum class CalleeKind : uint8_t { Unresolved, Variable, Builtin, UserFunction };
+
+struct Expr {
+  ExprKind kind;
+  SourceLoc loc;
+
+  // Number
+  double number = 0.0;
+  bool is_int_literal = false;
+  bool is_imaginary = false;
+
+  // String / Ident / Call callee name
+  std::string name;
+
+  // Unary / Binary
+  UnOp un_op = UnOp::Neg;
+  BinOp bin_op = BinOp::Add;
+  ExprPtr lhs, rhs;          // Unary uses lhs only
+
+  // Range: lhs=lo, step (may be null), rhs=hi
+  ExprPtr step;
+
+  // Call: args; Matrix: rows of element expressions
+  std::vector<ExprPtr> args;
+  std::vector<std::vector<ExprPtr>> rows;
+
+  // Sema results
+  CalleeKind callee = CalleeKind::Unresolved;
+  int ssa_version = -1;      // SSA version of an Ident use (-1 = not in SSA)
+
+  explicit Expr(ExprKind k, SourceLoc l = {}) : kind(k), loc(l) {}
+};
+
+enum class StmtKind : uint8_t {
+  ExprStmt,
+  Assign,
+  If,
+  While,
+  For,
+  Break,
+  Continue,
+  Return,
+  Global,
+};
+
+/// One assignment target: `x` or `x(indices)`.
+struct LValue {
+  std::string name;
+  std::vector<ExprPtr> indices;   // empty → whole-variable assignment
+  SourceLoc loc;
+  int ssa_version = -1;           // SSA version assigned by the def
+  int ssa_use_version = -1;       // incoming version (indexed writes read it)
+};
+
+struct IfArm {
+  ExprPtr cond;                   // null for the trailing else
+  std::vector<StmtPtr> body;
+};
+
+struct Stmt {
+  StmtKind kind;
+  SourceLoc loc;
+  bool display = false;           // statement not terminated by ';'
+
+  // ExprStmt / Assign rhs / While cond / For range
+  ExprPtr expr;
+
+  // Assign
+  std::vector<LValue> targets;    // >1 for [a,b] = f(...)
+
+  // If
+  std::vector<IfArm> arms;
+
+  // While / For body
+  std::vector<StmtPtr> body;
+
+  // For
+  std::string loop_var;
+  int loop_var_version = -1;      // SSA version of the loop variable def
+
+  // Global
+  std::vector<std::string> names;
+
+  explicit Stmt(StmtKind k, SourceLoc l = {}) : kind(k), loc(l) {}
+};
+
+/// A user function from an M-file:
+///   function [out1, out2] = name(in1, in2)
+struct Function {
+  std::string name;
+  std::vector<std::string> params;
+  std::vector<std::string> outs;
+  std::vector<StmtPtr> body;
+  SourceLoc loc;
+};
+
+/// A whole program: the script plus all reachable user functions.
+struct Program {
+  std::vector<StmtPtr> script;
+  std::unordered_map<std::string, std::unique_ptr<Function>> functions;
+};
+
+// -- construction helpers ---------------------------------------------------
+
+ExprPtr make_number(double v, bool is_int, SourceLoc loc = {});
+ExprPtr make_ident(std::string name, SourceLoc loc = {});
+ExprPtr make_unary(UnOp op, ExprPtr operand, SourceLoc loc = {});
+ExprPtr make_binary(BinOp op, ExprPtr lhs, ExprPtr rhs, SourceLoc loc = {});
+ExprPtr make_call(std::string callee, std::vector<ExprPtr> args,
+                  SourceLoc loc = {});
+
+/// Deep copy (used by lowering when duplicating subexpressions).
+ExprPtr clone_expr(const Expr& e);
+
+/// Renders the AST as an indented s-expression-like dump (golden tests).
+std::string dump_program(const Program& p);
+std::string dump_expr(const Expr& e);
+std::string dump_stmt(const Stmt& s, int indent = 0);
+
+}  // namespace otter

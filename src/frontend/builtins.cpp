@@ -1,0 +1,61 @@
+#include "frontend/builtins.hpp"
+
+#include <array>
+
+namespace otter {
+
+namespace {
+constexpr std::array kBuiltins = {
+    BuiltinInfo{Builtin::Zeros, "zeros", 1, 2, 1, false},
+    BuiltinInfo{Builtin::Ones, "ones", 1, 2, 1, false},
+    BuiltinInfo{Builtin::Eye, "eye", 1, 2, 1, false},
+    BuiltinInfo{Builtin::Rand, "rand", 0, 2, 1, false},
+    BuiltinInfo{Builtin::Linspace, "linspace", 2, 3, 1, false},
+    BuiltinInfo{Builtin::Repmat, "repmat", 3, 3, 1, false},
+    BuiltinInfo{Builtin::Size, "size", 1, 2, 2, false},
+    BuiltinInfo{Builtin::Length, "length", 1, 1, 1, false},
+    BuiltinInfo{Builtin::Numel, "numel", 1, 1, 1, false},
+    BuiltinInfo{Builtin::Sum, "sum", 1, 1, 1, false},
+    BuiltinInfo{Builtin::Mean, "mean", 1, 1, 1, false},
+    BuiltinInfo{Builtin::Prod, "prod", 1, 1, 1, false},
+    BuiltinInfo{Builtin::MinFn, "min", 1, 2, 1, false},
+    BuiltinInfo{Builtin::MaxFn, "max", 1, 2, 1, false},
+    BuiltinInfo{Builtin::Dot, "dot", 2, 2, 1, false},
+    BuiltinInfo{Builtin::Norm, "norm", 1, 1, 1, false},
+    BuiltinInfo{Builtin::Trapz, "trapz", 1, 2, 1, false},
+    BuiltinInfo{Builtin::Abs, "abs", 1, 1, 1, true},
+    BuiltinInfo{Builtin::Sqrt, "sqrt", 1, 1, 1, true},
+    BuiltinInfo{Builtin::Exp, "exp", 1, 1, 1, true},
+    BuiltinInfo{Builtin::Log, "log", 1, 1, 1, true},
+    BuiltinInfo{Builtin::Sin, "sin", 1, 1, 1, true},
+    BuiltinInfo{Builtin::Cos, "cos", 1, 1, 1, true},
+    BuiltinInfo{Builtin::Tan, "tan", 1, 1, 1, true},
+    BuiltinInfo{Builtin::Floor, "floor", 1, 1, 1, true},
+    BuiltinInfo{Builtin::Ceil, "ceil", 1, 1, 1, true},
+    BuiltinInfo{Builtin::Round, "round", 1, 1, 1, true},
+    BuiltinInfo{Builtin::Mod, "mod", 2, 2, 1, true},
+    BuiltinInfo{Builtin::Rem, "rem", 2, 2, 1, true},
+    BuiltinInfo{Builtin::Sign, "sign", 1, 1, 1, true},
+    BuiltinInfo{Builtin::Real, "real", 1, 1, 1, true},
+    BuiltinInfo{Builtin::Imag, "imag", 1, 1, 1, true},
+    BuiltinInfo{Builtin::Conj, "conj", 1, 1, 1, true},
+    BuiltinInfo{Builtin::Disp, "disp", 1, 1, 0, false},
+    BuiltinInfo{Builtin::Fprintf, "fprintf", 1, -1, 0, false},
+    BuiltinInfo{Builtin::Num2str, "num2str", 1, 1, 1, false},
+    BuiltinInfo{Builtin::ErrorFn, "error", 1, 1, 0, false},
+    BuiltinInfo{Builtin::Load, "load", 1, 1, 1, false},
+    BuiltinInfo{Builtin::Pi, "pi", 0, 0, 1, false},
+    BuiltinInfo{Builtin::Eps, "eps", 0, 0, 1, false},
+    BuiltinInfo{Builtin::InfConst, "Inf", 0, 0, 1, false},
+    BuiltinInfo{Builtin::NanConst, "NaN", 0, 0, 1, false},
+};
+}  // namespace
+
+const BuiltinInfo* find_builtin(std::string_view name) {
+  for (const BuiltinInfo& b : kBuiltins) {
+    if (b.name == name) return &b;
+  }
+  return nullptr;
+}
+
+}  // namespace otter

@@ -1,0 +1,43 @@
+// Catalogue of the MATLAB builtins implemented by Otter.
+//
+// Shared by identifier resolution (paper pass 2: deciding whether a name is
+// a variable or a function), type inference (pass 3), the interpreter, the
+// lowering pass, and code generation. The paper notes "Currently our system
+// implements a small number of MATLAB functions" — this is that set.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace otter {
+
+enum class Builtin : uint8_t {
+  // constructors
+  Zeros, Ones, Eye, Rand, Linspace, Repmat,
+  // shape queries
+  Size, Length, Numel,
+  // reductions
+  Sum, Mean, Prod, MinFn, MaxFn, Dot, Norm, Trapz,
+  // element-wise math
+  Abs, Sqrt, Exp, Log, Sin, Cos, Tan, Floor, Ceil, Round, Mod, Rem, Sign,
+  Real, Imag, Conj,
+  // I/O and misc
+  Disp, Fprintf, Num2str, ErrorFn, Load,
+  // constants
+  Pi, Eps, InfConst, NanConst, ImagUnit,
+};
+
+struct BuiltinInfo {
+  Builtin id;
+  std::string_view name;
+  int min_args;
+  int max_args;   // -1 = variadic
+  int n_outs;     // number of output values (size returns up to 2)
+  bool elementwise;  // applies independently per element (parallelisable
+                     // with no communication under aligned distribution)
+};
+
+/// Returns the catalogue entry or nullptr if `name` is not a builtin.
+const BuiltinInfo* find_builtin(std::string_view name);
+
+}  // namespace otter

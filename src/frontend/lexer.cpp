@@ -1,0 +1,357 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace otter {
+
+const char* tok_name(Tok t) {
+  switch (t) {
+    case Tok::Eof: return "end of file";
+    case Tok::Newline: return "newline";
+    case Tok::Ident: return "identifier";
+    case Tok::IntLit: return "integer literal";
+    case Tok::RealLit: return "real literal";
+    case Tok::ImagLit: return "imaginary literal";
+    case Tok::StringLit: return "string literal";
+    case Tok::KwIf: return "'if'";
+    case Tok::KwElseif: return "'elseif'";
+    case Tok::KwElse: return "'else'";
+    case Tok::KwEnd: return "'end'";
+    case Tok::KwWhile: return "'while'";
+    case Tok::KwFor: return "'for'";
+    case Tok::KwBreak: return "'break'";
+    case Tok::KwContinue: return "'continue'";
+    case Tok::KwFunction: return "'function'";
+    case Tok::KwReturn: return "'return'";
+    case Tok::KwGlobal: return "'global'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBracket: return "'['";
+    case Tok::RBracket: return "']'";
+    case Tok::Comma: return "','";
+    case Tok::Semicolon: return "';'";
+    case Tok::Colon: return "':'";
+    case Tok::Assign: return "'='";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Star: return "'*'";
+    case Tok::Slash: return "'/'";
+    case Tok::Backslash: return "'\\'";
+    case Tok::Caret: return "'^'";
+    case Tok::DotStar: return "'.*'";
+    case Tok::DotSlash: return "'./'";
+    case Tok::DotCaret: return "'.^'";
+    case Tok::Transpose: return "transpose '";
+    case Tok::DotTranspose: return "transpose .'";
+    case Tok::Eq: return "'=='";
+    case Tok::Ne: return "'~='";
+    case Tok::Lt: return "'<'";
+    case Tok::Le: return "'<='";
+    case Tok::Gt: return "'>'";
+    case Tok::Ge: return "'>='";
+    case Tok::Amp: return "'&'";
+    case Tok::Pipe: return "'|'";
+    case Tok::AmpAmp: return "'&&'";
+    case Tok::PipePipe: return "'||'";
+    case Tok::Tilde: return "'~'";
+  }
+  return "?";
+}
+
+namespace {
+const std::unordered_map<std::string_view, Tok>& keyword_table() {
+  static const std::unordered_map<std::string_view, Tok> table = {
+      {"if", Tok::KwIf},           {"elseif", Tok::KwElseif},
+      {"else", Tok::KwElse},       {"end", Tok::KwEnd},
+      {"while", Tok::KwWhile},     {"for", Tok::KwFor},
+      {"break", Tok::KwBreak},     {"continue", Tok::KwContinue},
+      {"function", Tok::KwFunction}, {"return", Tok::KwReturn},
+      {"global", Tok::KwGlobal},
+  };
+  return table;
+}
+}  // namespace
+
+Lexer::Lexer(const SourceManager& sm, uint32_t file, DiagEngine& diags)
+    : buf_(sm.buffer(file)), text_(buf_.text()), file_(file), diags_(diags) {}
+
+char Lexer::peek(size_t ahead) const {
+  return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char c = text_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+SourceLoc Lexer::loc_here() const { return {file_, line_, col_}; }
+
+Token Lexer::make(Tok kind, size_t begin) {
+  Token t;
+  t.kind = kind;
+  t.text = text_.substr(begin, pos_ - begin);
+  return t;
+}
+
+bool Lexer::quote_is_transpose() const {
+  switch (prev_) {
+    case Tok::Ident:
+    case Tok::IntLit:
+    case Tok::RealLit:
+    case Tok::ImagLit:
+    case Tok::RParen:
+    case Tok::RBracket:
+    case Tok::Transpose:
+    case Tok::DotTranspose:
+    case Tok::KwEnd:  // a(end)' — end acts as a value inside indices
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<Token> Lexer::lex_all() {
+  std::vector<Token> out;
+  for (;;) {
+    Token t = next();
+    // Collapse runs of newlines; drop leading newlines entirely.
+    if (t.kind == Tok::Newline &&
+        (out.empty() || out.back().kind == Tok::Newline)) {
+      continue;
+    }
+    prev_ = t.kind;
+    out.push_back(t);
+    if (t.kind == Tok::Eof) break;
+  }
+  return out;
+}
+
+Token Lexer::next() {
+  // Skip horizontal whitespace, comments, and `...` continuations.
+  for (;;) {
+    if (at_end()) {
+      Token t;
+      t.kind = Tok::Eof;
+      t.loc = loc_here();
+      return t;
+    }
+    char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r') {
+      advance();
+    } else if (c == '%') {
+      while (!at_end() && peek() != '\n') advance();
+    } else if (c == '.' && peek(1) == '.' && peek(2) == '.') {
+      // Continuation: skip to (and past) end of line.
+      while (!at_end() && peek() != '\n') advance();
+      if (!at_end()) advance();
+    } else {
+      break;
+    }
+  }
+
+  SourceLoc loc = loc_here();
+  size_t begin = pos_;
+  char c = advance();
+
+  Token t;
+  switch (c) {
+    case '\n': t = make(Tok::Newline, begin); break;
+    case '(': t = make(Tok::LParen, begin); break;
+    case ')': t = make(Tok::RParen, begin); break;
+    case '[': t = make(Tok::LBracket, begin); break;
+    case ']': t = make(Tok::RBracket, begin); break;
+    case ',': t = make(Tok::Comma, begin); break;
+    case ';': t = make(Tok::Semicolon, begin); break;
+    case ':': t = make(Tok::Colon, begin); break;
+    case '+': t = make(Tok::Plus, begin); break;
+    case '-': t = make(Tok::Minus, begin); break;
+    case '*': t = make(Tok::Star, begin); break;
+    case '/': t = make(Tok::Slash, begin); break;
+    case '\\': t = make(Tok::Backslash, begin); break;
+    case '^': t = make(Tok::Caret, begin); break;
+    case '=':
+      if (peek() == '=') {
+        advance();
+        t = make(Tok::Eq, begin);
+      } else {
+        t = make(Tok::Assign, begin);
+      }
+      break;
+    case '~':
+      if (peek() == '=') {
+        advance();
+        t = make(Tok::Ne, begin);
+      } else {
+        t = make(Tok::Tilde, begin);
+      }
+      break;
+    case '<':
+      if (peek() == '=') {
+        advance();
+        t = make(Tok::Le, begin);
+      } else {
+        t = make(Tok::Lt, begin);
+      }
+      break;
+    case '>':
+      if (peek() == '=') {
+        advance();
+        t = make(Tok::Ge, begin);
+      } else {
+        t = make(Tok::Gt, begin);
+      }
+      break;
+    case '&':
+      if (peek() == '&') {
+        advance();
+        t = make(Tok::AmpAmp, begin);
+      } else {
+        t = make(Tok::Amp, begin);
+      }
+      break;
+    case '|':
+      if (peek() == '|') {
+        advance();
+        t = make(Tok::PipePipe, begin);
+      } else {
+        t = make(Tok::Pipe, begin);
+      }
+      break;
+    case '.':
+      if (peek() == '*') {
+        advance();
+        t = make(Tok::DotStar, begin);
+      } else if (peek() == '/') {
+        advance();
+        t = make(Tok::DotSlash, begin);
+      } else if (peek() == '^') {
+        advance();
+        t = make(Tok::DotCaret, begin);
+      } else if (peek() == '\'') {
+        advance();
+        t = make(Tok::DotTranspose, begin);
+      } else if (std::isdigit(static_cast<unsigned char>(peek()))) {
+        --pos_;  // .5 style real literal
+        --col_;
+        t = lex_number();
+      } else {
+        diags_.error(loc, "unexpected character '.'");
+        t = make(Tok::Newline, begin);
+      }
+      break;
+    case '\'':
+      if (quote_is_transpose()) {
+        t = make(Tok::Transpose, begin);
+      } else {
+        --pos_;
+        --col_;
+        t = lex_string();
+      }
+      break;
+    default:
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        --pos_;
+        --col_;
+        t = lex_number();
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        --pos_;
+        --col_;
+        t = lex_ident_or_keyword();
+      } else {
+        diags_.error(loc, std::string("unexpected character '") + c + "'");
+        t = make(Tok::Newline, begin);
+      }
+      break;
+  }
+  t.loc = loc;
+  return t;
+}
+
+Token Lexer::lex_number() {
+  size_t begin = pos_;
+  bool is_real = false;
+  while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+  if (peek() == '.' &&
+      // Not element-wise op (3.*x) or transpose (3.')
+      peek(1) != '*' && peek(1) != '/' && peek(1) != '^' && peek(1) != '\'') {
+    is_real = true;
+    advance();
+    while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    size_t save_pos = pos_;
+    uint32_t save_col = col_;
+    advance();
+    if (peek() == '+' || peek() == '-') advance();
+    if (std::isdigit(static_cast<unsigned char>(peek()))) {
+      is_real = true;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+    } else {
+      pos_ = save_pos;  // `2exp(1)`? not a valid exponent — back off
+      col_ = save_col;
+    }
+  }
+  bool is_imag = false;
+  if (peek() == 'i' || peek() == 'j') {
+    // Imaginary suffix only when not starting a longer identifier (3in).
+    char after = peek(1);
+    if (!std::isalnum(static_cast<unsigned char>(after)) && after != '_') {
+      is_imag = true;
+      advance();
+    }
+  }
+  Token t = make(is_imag ? Tok::ImagLit : (is_real ? Tok::RealLit : Tok::IntLit),
+                 begin);
+  std::string digits(text_.substr(begin, pos_ - begin));
+  if (is_imag) digits.pop_back();
+  t.number = std::strtod(digits.c_str(), nullptr);
+  return t;
+}
+
+Token Lexer::lex_ident_or_keyword() {
+  size_t begin = pos_;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') {
+    advance();
+  }
+  Token t = make(Tok::Ident, begin);
+  auto it = keyword_table().find(t.text);
+  if (it != keyword_table().end()) t.kind = it->second;
+  return t;
+}
+
+Token Lexer::lex_string() {
+  size_t begin = pos_;
+  SourceLoc start = loc_here();
+  advance();  // opening quote
+  std::string value;
+  for (;;) {
+    if (at_end() || peek() == '\n') {
+      diags_.error(start, "unterminated string literal");
+      break;
+    }
+    char c = advance();
+    if (c == '\'') {
+      if (peek() == '\'') {
+        value.push_back('\'');  // '' escape
+        advance();
+      } else {
+        break;
+      }
+    } else {
+      value.push_back(c);
+    }
+  }
+  Token t = make(Tok::StringLit, begin);
+  t.str = std::move(value);
+  return t;
+}
+
+}  // namespace otter

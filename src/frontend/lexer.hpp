@@ -1,0 +1,49 @@
+// Hand-written lexer for the MATLAB subset accepted by Otter.
+//
+// Mirrors the paper's frontend restrictions: list elements inside matrix
+// literals must be comma-delimited (white space between elements is not a
+// delimiter), which keeps scanning unambiguous.
+#pragma once
+
+#include <vector>
+
+#include "frontend/token.hpp"
+#include "support/diag.hpp"
+
+namespace otter {
+
+class Lexer {
+ public:
+  Lexer(const SourceManager& sm, uint32_t file, DiagEngine& diags);
+
+  /// Lexes the whole buffer. Consecutive newlines are collapsed; a trailing
+  /// Eof token is always present.
+  std::vector<Token> lex_all();
+
+ private:
+  Token next();
+  [[nodiscard]] char peek(size_t ahead = 0) const;
+  char advance();
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] SourceLoc loc_here() const;
+  Token make(Tok kind, size_t begin);
+
+  Token lex_number();
+  Token lex_ident_or_keyword();
+  Token lex_string();
+
+  /// Whether a ' at the current position means transpose (after a value)
+  /// rather than the start of a character string.
+  [[nodiscard]] bool quote_is_transpose() const;
+
+  const SourceBuffer& buf_;
+  std::string_view text_;
+  uint32_t file_;
+  DiagEngine& diags_;
+  size_t pos_ = 0;
+  uint32_t line_ = 1;
+  uint32_t col_ = 1;
+  Tok prev_ = Tok::Newline;  // previous significant token, for ' handling
+};
+
+}  // namespace otter

@@ -1,0 +1,624 @@
+#include "frontend/parser.hpp"
+
+#include <cassert>
+
+#include "frontend/lexer.hpp"
+
+namespace otter {
+
+Parser::Parser(std::vector<Token> tokens, DiagEngine& diags)
+    : toks_(std::move(tokens)), diags_(diags) {
+  assert(!toks_.empty() && toks_.back().kind == Tok::Eof);
+}
+
+const Token& Parser::peek(size_t ahead) const {
+  size_t i = pos_ + ahead;
+  if (i >= toks_.size()) i = toks_.size() - 1;
+  return toks_[i];
+}
+
+const Token& Parser::advance() {
+  const Token& t = toks_[pos_];
+  if (pos_ + 1 < toks_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::match(Tok k) {
+  if (check(k)) {
+    advance();
+    return true;
+  }
+  return false;
+}
+
+bool Parser::expect(Tok k, const char* context) {
+  if (match(k)) return true;
+  diags_.error(peek().loc, std::string("expected ") + tok_name(k) + " " +
+                               context + ", found " + tok_name(peek().kind));
+  return false;
+}
+
+void Parser::skip_newlines() {
+  while (check(Tok::Newline)) advance();
+}
+
+void Parser::sync_to_statement_end() {
+  while (!check(Tok::Eof) && !peek().is_terminator()) advance();
+  while (peek().is_terminator() && !check(Tok::Eof)) advance();
+}
+
+// -- file level ---------------------------------------------------------------
+
+ParsedFile Parser::parse_file() {
+  ParsedFile out;
+  skip_newlines();
+  if (check(Tok::KwFunction)) {
+    while (check(Tok::KwFunction)) {
+      auto fn = parse_function();
+      if (fn) out.functions.push_back(std::move(fn));
+      skip_newlines();
+    }
+    if (!check(Tok::Eof)) {
+      diags_.error(peek().loc,
+                   "statements after a function definition must belong to "
+                   "another function");
+    }
+  } else {
+    while (!check(Tok::Eof)) {
+      StmtPtr s = parse_statement();
+      if (s) out.script.push_back(std::move(s));
+      skip_newlines();
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<Function> Parser::parse_function() {
+  SourceLoc loc = peek().loc;
+  expect(Tok::KwFunction, "to start a function definition");
+  auto fn = std::make_unique<Function>();
+  fn->loc = loc;
+
+  // function name(...)               -- no outputs
+  // function out = name(...)         -- one output
+  // function [o1, o2] = name(...)    -- several outputs
+  if (match(Tok::LBracket)) {
+    if (!check(Tok::RBracket)) {
+      do {
+        if (!check(Tok::Ident)) {
+          diags_.error(peek().loc, "expected output parameter name");
+          break;
+        }
+        fn->outs.emplace_back(advance().text);
+      } while (match(Tok::Comma));
+    }
+    expect(Tok::RBracket, "after output parameter list");
+    expect(Tok::Assign, "after output parameter list");
+    if (!check(Tok::Ident)) {
+      diags_.error(peek().loc, "expected function name");
+      return nullptr;
+    }
+    fn->name = peek().text;
+    advance();
+  } else {
+    if (!check(Tok::Ident)) {
+      diags_.error(peek().loc, "expected function name");
+      return nullptr;
+    }
+    std::string first(advance().text);
+    if (match(Tok::Assign)) {
+      fn->outs.push_back(std::move(first));
+      if (!check(Tok::Ident)) {
+        diags_.error(peek().loc, "expected function name after '='");
+        return nullptr;
+      }
+      fn->name = peek().text;
+      advance();
+    } else {
+      fn->name = std::move(first);
+    }
+  }
+
+  if (match(Tok::LParen)) {
+    if (!check(Tok::RParen)) {
+      do {
+        if (!check(Tok::Ident)) {
+          diags_.error(peek().loc, "expected parameter name");
+          break;
+        }
+        fn->params.emplace_back(advance().text);
+      } while (match(Tok::Comma));
+    }
+    expect(Tok::RParen, "after parameter list");
+  }
+  skip_newlines();
+  fn->body = parse_block();
+  // A function body is closed by 'end' (optional in MATLAB) or by the next
+  // 'function' keyword / end of file.
+  match(Tok::KwEnd);
+  return fn;
+}
+
+// -- statements ---------------------------------------------------------------
+
+bool Parser::at_block_end() const {
+  switch (peek().kind) {
+    case Tok::KwEnd:
+    case Tok::KwElse:
+    case Tok::KwElseif:
+    case Tok::KwFunction:
+    case Tok::Eof:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<StmtPtr> Parser::parse_block() {
+  std::vector<StmtPtr> body;
+  skip_newlines();
+  while (!at_block_end()) {
+    StmtPtr s = parse_statement();
+    if (s) body.push_back(std::move(s));
+    skip_newlines();
+  }
+  return body;
+}
+
+StmtPtr Parser::parse_statement() {
+  skip_newlines();
+  switch (peek().kind) {
+    case Tok::KwIf: return parse_if();
+    case Tok::KwWhile: return parse_while();
+    case Tok::KwFor: return parse_for();
+    case Tok::KwGlobal: return parse_global();
+    case Tok::KwBreak: {
+      SourceLoc loc = advance().loc;
+      auto s = std::make_unique<Stmt>(StmtKind::Break, loc);
+      if (!peek().is_terminator()) {
+        diags_.error(peek().loc, "expected end of statement after 'break'");
+        sync_to_statement_end();
+      }
+      return s;
+    }
+    case Tok::KwContinue: {
+      SourceLoc loc = advance().loc;
+      return std::make_unique<Stmt>(StmtKind::Continue, loc);
+    }
+    case Tok::KwReturn: {
+      SourceLoc loc = advance().loc;
+      return std::make_unique<Stmt>(StmtKind::Return, loc);
+    }
+    case Tok::Semicolon:
+    case Tok::Comma:
+      advance();
+      return nullptr;
+    default:
+      return parse_expr_or_assign();
+  }
+}
+
+StmtPtr Parser::parse_if() {
+  SourceLoc loc = advance().loc;  // 'if'
+  auto s = std::make_unique<Stmt>(StmtKind::If, loc);
+  IfArm arm;
+  arm.cond = parse_expr();
+  arm.body = parse_block();
+  s->arms.push_back(std::move(arm));
+  while (check(Tok::KwElseif)) {
+    advance();
+    IfArm next;
+    next.cond = parse_expr();
+    next.body = parse_block();
+    s->arms.push_back(std::move(next));
+  }
+  if (match(Tok::KwElse)) {
+    IfArm last;
+    last.body = parse_block();
+    s->arms.push_back(std::move(last));
+  }
+  expect(Tok::KwEnd, "to close 'if'");
+  return s;
+}
+
+StmtPtr Parser::parse_while() {
+  SourceLoc loc = advance().loc;
+  auto s = std::make_unique<Stmt>(StmtKind::While, loc);
+  s->expr = parse_expr();
+  s->body = parse_block();
+  expect(Tok::KwEnd, "to close 'while'");
+  return s;
+}
+
+StmtPtr Parser::parse_for() {
+  SourceLoc loc = advance().loc;
+  auto s = std::make_unique<Stmt>(StmtKind::For, loc);
+  if (!check(Tok::Ident)) {
+    diags_.error(peek().loc, "expected loop variable after 'for'");
+    sync_to_statement_end();
+    return nullptr;
+  }
+  s->loop_var = peek().text;
+  advance();
+  expect(Tok::Assign, "after loop variable");
+  s->expr = parse_expr();
+  s->body = parse_block();
+  expect(Tok::KwEnd, "to close 'for'");
+  return s;
+}
+
+StmtPtr Parser::parse_global() {
+  SourceLoc loc = advance().loc;
+  auto s = std::make_unique<Stmt>(StmtKind::Global, loc);
+  while (check(Tok::Ident)) {
+    s->names.emplace_back(advance().text);
+    if (!match(Tok::Comma)) break;
+  }
+  if (s->names.empty()) {
+    diags_.error(loc, "expected variable names after 'global'");
+  }
+  return s;
+}
+
+StmtPtr Parser::parse_expr_or_assign() {
+  SourceLoc loc = peek().loc;
+
+  // Multi-assignment: [a, b] = f(...). Distinguished from a matrix-literal
+  // expression statement by the '=' after the bracket group.
+  if (check(Tok::LBracket)) {
+    size_t save = pos_;
+    DiagEngine probe;  // swallow diagnostics from the probe parse
+    // Cheap scan: find matching ']' and check the next token for '='.
+    int depth = 0;
+    size_t i = pos_;
+    while (i < toks_.size() && toks_[i].kind != Tok::Eof) {
+      if (toks_[i].kind == Tok::LBracket) ++depth;
+      if (toks_[i].kind == Tok::RBracket && --depth == 0) break;
+      ++i;
+    }
+    bool is_multi_assign =
+        i + 1 < toks_.size() && toks_[i + 1].kind == Tok::Assign;
+    (void)probe;
+    pos_ = save;
+    if (is_multi_assign) {
+      auto s = std::make_unique<Stmt>(StmtKind::Assign, loc);
+      advance();  // '['
+      do {
+        ExprPtr target = parse_postfix();
+        auto lv = expr_to_lvalue(std::move(target));
+        if (lv) s->targets.push_back(std::move(*lv));
+      } while (match(Tok::Comma));
+      expect(Tok::RBracket, "after assignment targets");
+      expect(Tok::Assign, "in multi-assignment");
+      s->expr = parse_expr();
+      s->display = !match(Tok::Semicolon);
+      return s;
+    }
+  }
+
+  ExprPtr e = parse_expr();
+  if (!e) {
+    sync_to_statement_end();
+    return nullptr;
+  }
+  if (match(Tok::Assign)) {
+    auto s = std::make_unique<Stmt>(StmtKind::Assign, loc);
+    auto lv = expr_to_lvalue(std::move(e));
+    if (lv) s->targets.push_back(std::move(*lv));
+    s->expr = parse_expr();
+    s->display = !match(Tok::Semicolon);
+    return s;
+  }
+  auto s = std::make_unique<Stmt>(StmtKind::ExprStmt, loc);
+  s->expr = std::move(e);
+  s->display = !match(Tok::Semicolon);
+  return s;
+}
+
+std::optional<LValue> Parser::expr_to_lvalue(ExprPtr e) {
+  if (!e) return std::nullopt;
+  LValue lv;
+  lv.loc = e->loc;
+  if (e->kind == ExprKind::Ident) {
+    lv.name = e->name;
+    return lv;
+  }
+  if (e->kind == ExprKind::Call) {
+    lv.name = e->name;
+    lv.indices = std::move(e->args);
+    return lv;
+  }
+  diags_.error(e->loc, "invalid assignment target");
+  return std::nullopt;
+}
+
+// -- expressions --------------------------------------------------------------
+
+ExprPtr Parser::parse_or_or() {
+  ExprPtr lhs = parse_and_and();
+  while (check(Tok::PipePipe)) {
+    SourceLoc loc = advance().loc;
+    lhs = make_binary(BinOp::OrOr, std::move(lhs), parse_and_and(), loc);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_and_and() {
+  ExprPtr lhs = parse_or();
+  while (check(Tok::AmpAmp)) {
+    SourceLoc loc = advance().loc;
+    lhs = make_binary(BinOp::AndAnd, std::move(lhs), parse_or(), loc);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_or() {
+  ExprPtr lhs = parse_and();
+  while (check(Tok::Pipe)) {
+    SourceLoc loc = advance().loc;
+    lhs = make_binary(BinOp::Or, std::move(lhs), parse_and(), loc);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_and() {
+  ExprPtr lhs = parse_comparison();
+  while (check(Tok::Amp)) {
+    SourceLoc loc = advance().loc;
+    lhs = make_binary(BinOp::And, std::move(lhs), parse_comparison(), loc);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_comparison() {
+  ExprPtr lhs = parse_range();
+  for (;;) {
+    BinOp op;
+    switch (peek().kind) {
+      case Tok::Lt: op = BinOp::Lt; break;
+      case Tok::Le: op = BinOp::Le; break;
+      case Tok::Gt: op = BinOp::Gt; break;
+      case Tok::Ge: op = BinOp::Ge; break;
+      case Tok::Eq: op = BinOp::Eq; break;
+      case Tok::Ne: op = BinOp::Ne; break;
+      default: return lhs;
+    }
+    SourceLoc loc = advance().loc;
+    lhs = make_binary(op, std::move(lhs), parse_range(), loc);
+  }
+}
+
+ExprPtr Parser::parse_range() {
+  ExprPtr first = parse_additive();
+  if (!check(Tok::Colon)) return first;
+  SourceLoc loc = advance().loc;
+  ExprPtr second = parse_additive();
+  auto r = std::make_unique<Expr>(ExprKind::Range, loc);
+  if (check(Tok::Colon)) {
+    advance();
+    r->lhs = std::move(first);
+    r->step = std::move(second);
+    r->rhs = parse_additive();
+  } else {
+    r->lhs = std::move(first);
+    r->rhs = std::move(second);
+  }
+  return r;
+}
+
+ExprPtr Parser::parse_additive() {
+  ExprPtr lhs = parse_multiplicative();
+  for (;;) {
+    BinOp op;
+    if (check(Tok::Plus)) op = BinOp::Add;
+    else if (check(Tok::Minus)) op = BinOp::Sub;
+    else return lhs;
+    SourceLoc loc = advance().loc;
+    lhs = make_binary(op, std::move(lhs), parse_multiplicative(), loc);
+  }
+}
+
+ExprPtr Parser::parse_multiplicative() {
+  ExprPtr lhs = parse_unary();
+  for (;;) {
+    BinOp op;
+    switch (peek().kind) {
+      case Tok::Star: op = BinOp::MatMul; break;
+      case Tok::Slash: op = BinOp::MatDiv; break;
+      case Tok::Backslash: op = BinOp::MatLDiv; break;
+      case Tok::DotStar: op = BinOp::ElemMul; break;
+      case Tok::DotSlash: op = BinOp::ElemDiv; break;
+      default: return lhs;
+    }
+    SourceLoc loc = advance().loc;
+    lhs = make_binary(op, std::move(lhs), parse_unary(), loc);
+  }
+}
+
+ExprPtr Parser::parse_unary() {
+  switch (peek().kind) {
+    case Tok::Minus: {
+      SourceLoc loc = advance().loc;
+      return make_unary(UnOp::Neg, parse_unary(), loc);
+    }
+    case Tok::Plus: {
+      SourceLoc loc = advance().loc;
+      return make_unary(UnOp::Plus, parse_unary(), loc);
+    }
+    case Tok::Tilde: {
+      SourceLoc loc = advance().loc;
+      return make_unary(UnOp::Not, parse_unary(), loc);
+    }
+    default:
+      return parse_power();
+  }
+}
+
+ExprPtr Parser::parse_power() {
+  ExprPtr base = parse_postfix();
+  for (;;) {
+    BinOp op;
+    if (check(Tok::Caret)) op = BinOp::MatPow;
+    else if (check(Tok::DotCaret)) op = BinOp::ElemPow;
+    else return base;
+    SourceLoc loc = advance().loc;
+    // Exponent may carry a unary sign: 2^-3.
+    ExprPtr exponent;
+    if (check(Tok::Minus)) {
+      SourceLoc nloc = advance().loc;
+      exponent = make_unary(UnOp::Neg, parse_postfix(), nloc);
+    } else if (check(Tok::Plus)) {
+      advance();
+      exponent = parse_postfix();
+    } else {
+      exponent = parse_postfix();
+    }
+    base = make_binary(op, std::move(base), std::move(exponent), loc);
+  }
+}
+
+ExprPtr Parser::parse_postfix() {
+  ExprPtr e = parse_primary();
+  for (;;) {
+    if (check(Tok::Transpose)) {
+      SourceLoc loc = advance().loc;
+      e = make_unary(UnOp::CTranspose, std::move(e), loc);
+    } else if (check(Tok::DotTranspose)) {
+      SourceLoc loc = advance().loc;
+      e = make_unary(UnOp::Transpose, std::move(e), loc);
+    } else if (check(Tok::LParen) && e->kind == ExprKind::Ident) {
+      // name(...) — call or index; resolved by sema.
+      SourceLoc loc = e->loc;
+      std::string name = e->name;
+      advance();
+      auto call = make_call(std::move(name), parse_index_args(), loc);
+      expect(Tok::RParen, "after argument list");
+      e = std::move(call);
+    } else if (check(Tok::LParen) && e->kind == ExprKind::Call) {
+      diags_.error(peek().loc,
+                   "chained indexing f(x)(y) is not supported by Otter");
+      advance();
+      parse_index_args();
+      expect(Tok::RParen, "after argument list");
+    } else {
+      return e;
+    }
+  }
+}
+
+std::vector<ExprPtr> Parser::parse_index_args() {
+  ++index_depth_;
+  std::vector<ExprPtr> args;
+  if (!check(Tok::RParen)) {
+    do {
+      skip_newlines();
+      if (check(Tok::Colon) &&
+          (peek(1).kind == Tok::Comma || peek(1).kind == Tok::RParen)) {
+        args.push_back(std::make_unique<Expr>(ExprKind::Colon, advance().loc));
+      } else {
+        args.push_back(parse_expr());
+      }
+    } while (match(Tok::Comma));
+  }
+  --index_depth_;
+  return args;
+}
+
+ExprPtr Parser::parse_primary() {
+  const Token& t = peek();
+  switch (t.kind) {
+    case Tok::IntLit:
+    case Tok::RealLit: {
+      advance();
+      return make_number(t.number, t.kind == Tok::IntLit, t.loc);
+    }
+    case Tok::ImagLit: {
+      advance();
+      auto e = make_number(t.number, false, t.loc);
+      e->is_imaginary = true;
+      return e;
+    }
+    case Tok::StringLit: {
+      advance();
+      auto e = std::make_unique<Expr>(ExprKind::String, t.loc);
+      e->name = t.str;
+      return e;
+    }
+    case Tok::Ident: {
+      advance();
+      return make_ident(std::string(t.text), t.loc);
+    }
+    case Tok::KwEnd: {
+      if (index_depth_ > 0) {
+        advance();
+        return std::make_unique<Expr>(ExprKind::End, t.loc);
+      }
+      diags_.error(t.loc, "'end' is only valid inside an index expression");
+      advance();
+      return make_number(0, true, t.loc);
+    }
+    case Tok::LParen: {
+      advance();
+      skip_newlines();
+      ExprPtr e = parse_expr();
+      skip_newlines();
+      expect(Tok::RParen, "to close parenthesised expression");
+      return e;
+    }
+    case Tok::LBracket:
+      return parse_matrix_literal();
+    default:
+      diags_.error(t.loc, std::string("expected an expression, found ") +
+                              tok_name(t.kind));
+      advance();
+      return make_number(0, true, t.loc);
+  }
+}
+
+ExprPtr Parser::parse_matrix_literal() {
+  SourceLoc loc = peek().loc;
+  expect(Tok::LBracket, "to open matrix literal");
+  auto m = std::make_unique<Expr>(ExprKind::Matrix, loc);
+  std::vector<ExprPtr> row;
+  skip_newlines();
+  while (!check(Tok::RBracket) && !check(Tok::Eof)) {
+    row.push_back(parse_expr());
+    if (match(Tok::Comma)) {
+      skip_newlines();
+      continue;
+    }
+    if (check(Tok::Semicolon) || check(Tok::Newline)) {
+      // Row separator. Per the paper, elements are comma-delimited, so a
+      // newline or ';' always starts a new row.
+      while (check(Tok::Semicolon) || check(Tok::Newline)) advance();
+      m->rows.push_back(std::move(row));
+      row.clear();
+      continue;
+    }
+    if (!check(Tok::RBracket)) {
+      diags_.error(peek().loc,
+                   "matrix elements must be separated by commas (Otter does "
+                   "not support white-space delimiters)");
+      break;
+    }
+  }
+  if (!row.empty()) m->rows.push_back(std::move(row));
+  expect(Tok::RBracket, "to close matrix literal");
+  return m;
+}
+
+ExprPtr Parser::parse_expression_only() {
+  skip_newlines();
+  return parse_expr();
+}
+
+ParsedFile parse_string(const std::string& text, SourceManager& sm,
+                        DiagEngine& diags, const std::string& name) {
+  uint32_t file = sm.add_buffer(name, text);
+  diags.attach(&sm);
+  Lexer lexer(sm, file, diags);
+  Parser parser(lexer.lex_all(), diags);
+  return parser.parse_file();
+}
+
+}  // namespace otter

@@ -1,0 +1,84 @@
+// Recursive-descent parser for the Otter MATLAB subset.
+//
+// Produces the AST of a single M-file: either a script (list of statements)
+// or one or more function definitions. The paper builds its frontend with
+// lex/yacc; we use a hand-written parser with equivalent grammar, including
+// the paper's restriction that list elements are comma-delimited.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "frontend/ast.hpp"
+#include "frontend/token.hpp"
+#include "support/diag.hpp"
+
+namespace otter {
+
+/// Result of parsing one M-file.
+struct ParsedFile {
+  std::vector<StmtPtr> script;                        // empty for function files
+  std::vector<std::unique_ptr<Function>> functions;   // empty for scripts
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, DiagEngine& diags);
+
+  ParsedFile parse_file();
+
+  /// Parses a single expression (for tests and the REPL-style driver).
+  ExprPtr parse_expression_only();
+
+ private:
+  // token cursor ------------------------------------------------------------
+  [[nodiscard]] const Token& peek(size_t ahead = 0) const;
+  const Token& advance();
+  [[nodiscard]] bool check(Tok k) const { return peek().kind == k; }
+  bool match(Tok k);
+  bool expect(Tok k, const char* context);
+  void skip_newlines();
+  void sync_to_statement_end();
+
+  // statements ---------------------------------------------------------------
+  std::vector<StmtPtr> parse_block();   // until end/else/elseif/eof
+  [[nodiscard]] bool at_block_end() const;
+  StmtPtr parse_statement();
+  StmtPtr parse_if();
+  StmtPtr parse_while();
+  StmtPtr parse_for();
+  StmtPtr parse_global();
+  StmtPtr parse_expr_or_assign();
+  std::unique_ptr<Function> parse_function();
+
+  /// Converts a parsed expression into an assignment target.
+  std::optional<LValue> expr_to_lvalue(ExprPtr e);
+
+  // expressions (precedence climbing) -----------------------------------------
+  ExprPtr parse_expr() { return parse_or_or(); }
+  ExprPtr parse_or_or();
+  ExprPtr parse_and_and();
+  ExprPtr parse_or();
+  ExprPtr parse_and();
+  ExprPtr parse_comparison();
+  ExprPtr parse_range();
+  ExprPtr parse_additive();
+  ExprPtr parse_multiplicative();
+  ExprPtr parse_unary();
+  ExprPtr parse_power();
+  ExprPtr parse_postfix();
+  ExprPtr parse_primary();
+  ExprPtr parse_matrix_literal();
+  std::vector<ExprPtr> parse_index_args();
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+  DiagEngine& diags_;
+  int index_depth_ = 0;   // >0 while parsing a(...) index list: ':'/'end' legal
+};
+
+/// Convenience: lex + parse a string as a script. Used heavily by tests.
+ParsedFile parse_string(const std::string& text, SourceManager& sm,
+                        DiagEngine& diags, const std::string& name = "<input>");
+
+}  // namespace otter

@@ -1,0 +1,51 @@
+// Token definitions for the Otter MATLAB lexer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/source.hpp"
+
+namespace otter {
+
+enum class Tok : uint8_t {
+  Eof,
+  Newline,     // statement terminator (also ',' and ';' at statement level)
+  Ident,
+  IntLit,      // number without '.', 'e' or 'i' suffix → MATLAB type "integer"
+  RealLit,
+  ImagLit,     // 3i / 2.5i → imaginary component
+  StringLit,   // 'text'
+  // keywords
+  KwIf, KwElseif, KwElse, KwEnd, KwWhile, KwFor, KwBreak, KwContinue,
+  KwFunction, KwReturn, KwGlobal,
+  // punctuation / operators
+  LParen, RParen, LBracket, RBracket,
+  Comma, Semicolon, Colon,
+  Assign,      // =
+  Plus, Minus, Star, Slash, Backslash, Caret,
+  DotStar, DotSlash, DotCaret,
+  Transpose,   // ' (complex-conjugate transpose)
+  DotTranspose,// .'
+  Eq, Ne, Lt, Le, Gt, Ge,
+  Amp, Pipe, AmpAmp, PipePipe, Tilde,
+};
+
+[[nodiscard]] const char* tok_name(Tok t);
+
+struct Token {
+  Tok kind = Tok::Eof;
+  SourceLoc loc;
+  std::string_view text;   // points into the source buffer
+  double number = 0.0;     // for IntLit / RealLit / ImagLit
+  std::string str;         // for StringLit (escapes resolved: '' -> ')
+
+  /// True when this token ends a statement.
+  [[nodiscard]] bool is_terminator() const {
+    return kind == Tok::Newline || kind == Tok::Semicolon ||
+           kind == Tok::Comma || kind == Tok::Eof;
+  }
+};
+
+}  // namespace otter

@@ -1,0 +1,42 @@
+// Scalar/matrix operator semantics shared by the interpreter.
+//
+// All functions implement MATLAB semantics for the Otter subset: scalar
+// broadcasting against matrices, shape checks with clear error messages,
+// complex promotion where it arises (sqrt of a negative real stays real and
+// yields NaN — like C, not MATLAB — unless the input is already complex;
+// the compiler's type lattice makes the same choice so backends agree).
+#pragma once
+
+#include "frontend/ast.hpp"
+#include "interp/value.hpp"
+
+namespace otter::interp {
+
+Value binary_op(BinOp op, const Value& a, const Value& b, SourceLoc loc);
+Value unary_op(UnOp op, const Value& a, SourceLoc loc);
+
+/// lo:step:hi as a row vector.
+Value make_range(double lo, double step, double hi, SourceLoc loc);
+
+/// [rows of blocks] concatenation for matrix literals.
+Value build_matrix(const std::vector<std::vector<Value>>& rows, SourceLoc loc);
+
+/// One resolved subscript of an indexing expression.
+struct IndexSpec {
+  enum class Kind { Scalar, Vector, All } kind = Kind::Scalar;
+  double scalar = 0;            // 1-based
+  std::vector<double> indices;  // 1-based
+};
+
+/// a(indices…) read. `indices` has one or two entries.
+Value index_read(const Value& base, const std::vector<IndexSpec>& indices,
+                 SourceLoc loc);
+
+/// a(indices…) = rhs; grows the matrix when indices exceed its shape.
+void index_write(Value& base, const std::vector<IndexSpec>& indices,
+                 const Value& rhs, SourceLoc loc);
+
+Value matmul(const Value& a, const Value& b, SourceLoc loc);
+Value transpose(const Value& a, bool conjugate, SourceLoc loc);
+
+}  // namespace otter::interp

@@ -1,0 +1,142 @@
+// Dynamic values for the baseline MATLAB interpreter.
+//
+// The interpreter deliberately has the cost profile of an interpreted
+// environment — dynamic dispatch on every operation, a freshly allocated
+// temporary per vector/matrix op, copy-on-write assignment — because it
+// stands in for The MathWorks interpreter in the paper's Figure 2/3-6
+// baselines. It is also the semantic reference the compiled backends are
+// tested against.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "support/source.hpp"
+
+namespace otter::interp {
+
+/// Runtime error carrying a source location for diagnostics.
+class InterpError : public std::runtime_error {
+ public:
+  InterpError(SourceLoc loc, const std::string& msg)
+      : std::runtime_error(msg), loc_(loc) {}
+  [[nodiscard]] SourceLoc loc() const { return loc_; }
+
+ private:
+  SourceLoc loc_;
+};
+
+/// Dense 2-D matrix. Row-major storage (matching the run-time library's
+/// row-contiguous distribution). Vectors are 1×n or n×1 matrices.
+struct Mat {
+  size_t rows = 0;
+  size_t cols = 0;
+  bool is_complex = false;
+  std::vector<double> re;
+  std::vector<double> im;  // empty unless is_complex
+
+  Mat() = default;
+  Mat(size_t r, size_t c, bool cplx = false)
+      : rows(r), cols(c), is_complex(cplx), re(r * c, 0.0) {
+    if (cplx) im.assign(r * c, 0.0);
+  }
+
+  [[nodiscard]] size_t numel() const { return rows * cols; }
+  [[nodiscard]] bool is_vector() const { return rows == 1 || cols == 1; }
+  [[nodiscard]] bool is_row_vector() const { return rows == 1 && cols >= 1; }
+
+  [[nodiscard]] double& at(size_t r, size_t c) { return re[r * cols + c]; }
+  [[nodiscard]] double at(size_t r, size_t c) const { return re[r * cols + c]; }
+  [[nodiscard]] std::complex<double> cat(size_t i) const {
+    return {re[i], is_complex ? im[i] : 0.0};
+  }
+  void set(size_t i, std::complex<double> v) {
+    re[i] = v.real();
+    if (v.imag() != 0.0 && !is_complex) complexify();
+    if (is_complex) im[i] = v.imag();
+  }
+  void complexify() {
+    if (!is_complex) {
+      is_complex = true;
+      im.assign(re.size(), 0.0);
+    }
+  }
+  /// Drops the imaginary part if it is exactly zero everywhere.
+  void demote_if_real();
+};
+
+using MatPtr = std::shared_ptr<Mat>;
+
+/// A MATLAB value: real scalar, complex scalar, character string, or matrix.
+class Value {
+ public:
+  Value() : v_(0.0) {}
+  /* implicit */ Value(double d) : v_(d) {}
+  /* implicit */ Value(std::complex<double> z) : v_(z) {}
+  /* implicit */ Value(std::string s) : v_(std::move(s)) {}
+  /* implicit */ Value(MatPtr m) : v_(std::move(m)) {}
+
+  [[nodiscard]] bool is_real() const { return std::holds_alternative<double>(v_); }
+  [[nodiscard]] bool is_complex_scalar() const {
+    return std::holds_alternative<std::complex<double>>(v_);
+  }
+  [[nodiscard]] bool is_scalar() const { return is_real() || is_complex_scalar(); }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(v_);
+  }
+  [[nodiscard]] bool is_matrix() const { return std::holds_alternative<MatPtr>(v_); }
+
+  [[nodiscard]] double real_scalar() const { return std::get<double>(v_); }
+  [[nodiscard]] std::complex<double> complex_scalar() const {
+    if (is_real()) return {std::get<double>(v_), 0.0};
+    return std::get<std::complex<double>>(v_);
+  }
+  [[nodiscard]] const std::string& str() const { return std::get<std::string>(v_); }
+  [[nodiscard]] const MatPtr& mat() const { return std::get<MatPtr>(v_); }
+
+  /// Copy-on-write access to the matrix payload.
+  Mat& mutable_mat() {
+    MatPtr& m = std::get<MatPtr>(v_);
+    if (m.use_count() > 1) m = std::make_shared<Mat>(*m);
+    return *m;
+  }
+
+ private:
+  std::variant<double, std::complex<double>, std::string, MatPtr> v_;
+};
+
+// -- conversions & queries ----------------------------------------------------
+
+/// Scalar extraction (1×1 matrices collapse); throws InterpError otherwise.
+double to_double(const Value& v, SourceLoc loc);
+std::complex<double> to_complex(const Value& v, SourceLoc loc);
+
+/// MATLAB truthiness: nonempty and every element nonzero.
+bool truthy(const Value& v, SourceLoc loc);
+
+/// Number of elements (1 for scalars, length for strings).
+size_t numel(const Value& v);
+size_t value_rows(const Value& v);
+size_t value_cols(const Value& v);
+
+/// Collapses 1×1 matrices to scalars (MATLAB does this implicitly).
+Value simplify(Value v);
+
+std::string type_name(const Value& v);
+
+/// Formats like the interpreter's `disp`.
+std::string format_value(const Value& v);
+
+// -- deterministic RNG --------------------------------------------------------
+
+/// The LCG behind `rand` — shared with the run-time library and generated
+/// code so every backend computes identical data (see support/rng.hpp).
+using Lcg = ::otter::Lcg;
+
+}  // namespace otter::interp

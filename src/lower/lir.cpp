@@ -1,0 +1,312 @@
+#include "lower/lir.hpp"
+
+#include <sstream>
+
+namespace otter::lower {
+
+LExprPtr limm(double v) {
+  auto e = std::make_unique<LExpr>();
+  e->kind = LExpr::Kind::Imm;
+  e->imm = v;
+  return e;
+}
+
+LExprPtr lsvar(std::string name) {
+  auto e = std::make_unique<LExpr>();
+  e->kind = LExpr::Kind::ScalarVar;
+  e->var = std::move(name);
+  return e;
+}
+
+LExprPtr lmvar(std::string name) {
+  auto e = std::make_unique<LExpr>();
+  e->kind = LExpr::Kind::MatVar;
+  e->var = std::move(name);
+  return e;
+}
+
+LExprPtr lbin(EwBin op, LExprPtr a, LExprPtr b) {
+  auto e = std::make_unique<LExpr>();
+  e->kind = LExpr::Kind::Bin;
+  e->bop = op;
+  e->a = std::move(a);
+  e->b = std::move(b);
+  return e;
+}
+
+LExprPtr lun(EwUn op, LExprPtr a) {
+  auto e = std::make_unique<LExpr>();
+  e->kind = LExpr::Kind::Un;
+  e->uop = op;
+  e->a = std::move(a);
+  return e;
+}
+
+LExprPtr lquery(LExpr::Kind k, std::string var) {
+  auto e = std::make_unique<LExpr>();
+  e->kind = k;
+  e->var = std::move(var);
+  return e;
+}
+
+LExprPtr clone_lexpr(const LExpr& e) {
+  auto c = std::make_unique<LExpr>();
+  c->kind = e.kind;
+  c->imm = e.imm;
+  c->var = e.var;
+  c->bop = e.bop;
+  c->uop = e.uop;
+  if (e.a) c->a = clone_lexpr(*e.a);
+  if (e.b) c->b = clone_lexpr(*e.b);
+  return c;
+}
+
+namespace {
+
+const char* bin_name(EwBin op) {
+  switch (op) {
+    case EwBin::Add: return "+";
+    case EwBin::Sub: return "-";
+    case EwBin::Mul: return "*";
+    case EwBin::Div: return "/";
+    case EwBin::Pow: return "pow";
+    case EwBin::Lt: return "<";
+    case EwBin::Le: return "<=";
+    case EwBin::Gt: return ">";
+    case EwBin::Ge: return ">=";
+    case EwBin::Eq: return "==";
+    case EwBin::Ne: return "~=";
+    case EwBin::And: return "&";
+    case EwBin::Or: return "|";
+    case EwBin::Mod: return "mod";
+    case EwBin::Rem: return "rem";
+    case EwBin::Min: return "min";
+    case EwBin::Max: return "max";
+  }
+  return "?";
+}
+
+const char* un_name(EwUn op) {
+  switch (op) {
+    case EwUn::Neg: return "neg";
+    case EwUn::Not: return "not";
+    case EwUn::Abs: return "abs";
+    case EwUn::Sqrt: return "sqrt";
+    case EwUn::Exp: return "exp";
+    case EwUn::Log: return "log";
+    case EwUn::Sin: return "sin";
+    case EwUn::Cos: return "cos";
+    case EwUn::Tan: return "tan";
+    case EwUn::Floor: return "floor";
+    case EwUn::Ceil: return "ceil";
+    case EwUn::Round: return "round";
+    case EwUn::Sign: return "sign";
+  }
+  return "?";
+}
+
+const char* red_name(RedKind r) {
+  switch (r) {
+    case RedKind::Sum: return "sum";
+    case RedKind::Mean: return "mean";
+    case RedKind::Min: return "min";
+    case RedKind::Max: return "max";
+    case RedKind::Prod: return "prod";
+  }
+  return "?";
+}
+
+void dump_lexpr_to(const LExpr& e, std::ostream& os) {
+  switch (e.kind) {
+    case LExpr::Kind::Imm: os << e.imm; break;
+    case LExpr::Kind::ScalarVar: os << e.var; break;
+    case LExpr::Kind::MatVar: os << e.var << "[.]"; break;
+    case LExpr::Kind::Bin:
+      os << '(' << bin_name(e.bop) << ' ';
+      dump_lexpr_to(*e.a, os);
+      os << ' ';
+      dump_lexpr_to(*e.b, os);
+      os << ')';
+      break;
+    case LExpr::Kind::Un:
+      os << '(' << un_name(e.uop) << ' ';
+      dump_lexpr_to(*e.a, os);
+      os << ')';
+      break;
+    case LExpr::Kind::RowsOf: os << "rows(" << e.var << ')'; break;
+    case LExpr::Kind::ColsOf: os << "cols(" << e.var << ')'; break;
+    case LExpr::Kind::NumelOf: os << "numel(" << e.var << ')'; break;
+    case LExpr::Kind::RandScalar: os << "rand()"; break;
+  }
+}
+
+void dump_operand(const LOperand& o, std::ostream& os) {
+  if (o.is_string) {
+    os << '\'' << o.str << '\'';
+  } else if (o.is_matrix) {
+    os << o.mat;
+  } else if (o.scalar) {
+    dump_lexpr_to(*o.scalar, os);
+  } else {
+    os << "<?>";
+  }
+}
+
+void indent_to(std::ostream& os, int n) {
+  for (int i = 0; i < n; ++i) os << "  ";
+}
+
+void dump_instrs(const std::vector<LInstrPtr>& body, std::ostream& os,
+                 int indent);
+
+void dump_instr(const LInstr& in, std::ostream& os, int indent) {
+  indent_to(os, indent);
+  auto args = [&](const char* name) {
+    os << name << '(';
+    for (size_t i = 0; i < in.args.size(); ++i) {
+      if (i) os << ", ";
+      dump_operand(in.args[i], os);
+    }
+    os << ')';
+  };
+  switch (in.op) {
+    case LOp::MatMul: os << in.dst << " = "; args("ML_matrix_multiply"); break;
+    case LOp::MatVec: os << in.dst << " = "; args("ML_matrix_vector_multiply"); break;
+    case LOp::VecMat: os << in.dst << " = "; args("ML_vector_matrix_multiply"); break;
+    case LOp::OuterProd: os << in.dst << " = "; args("ML_outer_product"); break;
+    case LOp::TransposeOp: os << in.dst << " = "; args("ML_transpose"); break;
+    case LOp::DotProd: os << in.sdst << " = "; args("ML_dot"); break;
+    case LOp::Norm: os << in.sdst << " = "; args("ML_norm"); break;
+    case LOp::Trapz: os << in.sdst << " = "; args("ML_trapz"); break;
+    case LOp::Reduce:
+      os << in.sdst << " = ML_reduce_" << red_name(in.red) << '(';
+      dump_operand(in.args[0], os);
+      os << ')';
+      break;
+    case LOp::Colwise:
+      os << in.dst << " = ML_colwise_" << red_name(in.red) << '(';
+      dump_operand(in.args[0], os);
+      os << ')';
+      break;
+    case LOp::GetElem: os << in.sdst << " = "; args("ML_broadcast"); break;
+    case LOp::SetElem: args("ML_set_element_guarded"); break;
+    case LOp::ExtractRowOp: os << in.dst << " = "; args("ML_extract_row"); break;
+    case LOp::ExtractColOp: os << in.dst << " = "; args("ML_extract_col"); break;
+    case LOp::AssignRowOp: args("ML_assign_row"); break;
+    case LOp::AssignColOp: args("ML_assign_col"); break;
+    case LOp::SliceVec: os << in.dst << " = "; args("ML_slice"); break;
+    case LOp::AssignSliceOp: args("ML_assign_slice"); break;
+    case LOp::FillZeros: os << in.dst << " = "; args("ML_zeros"); break;
+    case LOp::FillOnes: os << in.dst << " = "; args("ML_ones"); break;
+    case LOp::FillEye: os << in.dst << " = "; args("ML_eye"); break;
+    case LOp::FillRand: os << in.dst << " = "; args("ML_rand"); break;
+    case LOp::FillRange: os << in.dst << " = "; args("ML_range"); break;
+    case LOp::FillLinspace: os << in.dst << " = "; args("ML_linspace"); break;
+    case LOp::LoadFile: os << in.dst << " = "; args("ML_load"); break;
+    case LOp::FromLiteral: {
+      os << in.dst << " = ML_literal[";
+      for (size_t r = 0; r < in.literal_rows.size(); ++r) {
+        if (r) os << "; ";
+        for (size_t c = 0; c < in.literal_rows[r].size(); ++c) {
+          if (c) os << ", ";
+          dump_lexpr_to(*in.literal_rows[r][c], os);
+        }
+      }
+      os << ']';
+      break;
+    }
+    case LOp::CopyMat: os << in.dst << " = "; args("ML_copy"); break;
+    case LOp::Elemwise:
+      os << "for-each-local " << in.dst << " = ";
+      dump_lexpr_to(*in.tree, os);
+      break;
+    case LOp::ScalarAssign:
+      os << in.sdst << " = ";
+      dump_lexpr_to(*in.tree, os);
+      break;
+    case LOp::CallFn: {
+      os << '[';
+      for (size_t i = 0; i < in.call_dsts.size(); ++i) {
+        if (i) os << ", ";
+        os << in.call_dsts[i].name;
+      }
+      os << "] = " << in.callee << '(';
+      for (size_t i = 0; i < in.args.size(); ++i) {
+        if (i) os << ", ";
+        dump_operand(in.args[i], os);
+      }
+      os << ')';
+      break;
+    }
+    case LOp::Display: args("ML_display"); break;
+    case LOp::DispOp: args("ML_disp"); break;
+    case LOp::FprintfOp: args("ML_fprintf"); break;
+    case LOp::ErrorOp: args("ML_error"); break;
+    case LOp::IfOp:
+      os << "if\n";
+      for (const LIfArm& arm : in.arms) {
+        indent_to(os, indent + 1);
+        if (arm.cond) {
+          os << "cond ";
+          dump_lexpr_to(*arm.cond, os);
+          os << '\n';
+        } else {
+          os << "else\n";
+        }
+        dump_instrs(arm.body, os, indent + 2);
+      }
+      indent_to(os, indent);
+      os << "end";
+      break;
+    case LOp::WhileOp:
+      os << "while ";
+      dump_lexpr_to(*in.cond, os);
+      os << '\n';
+      dump_instrs(in.body, os, indent + 1);
+      indent_to(os, indent);
+      os << "end";
+      break;
+    case LOp::ForOp:
+      os << "for " << in.loop_var << " = ";
+      dump_lexpr_to(*in.lo, os);
+      os << " : ";
+      dump_lexpr_to(*in.step, os);
+      os << " : ";
+      dump_lexpr_to(*in.hi, os);
+      os << '\n';
+      dump_instrs(in.body, os, indent + 1);
+      indent_to(os, indent);
+      os << "end";
+      break;
+    case LOp::BreakOp: os << "break"; break;
+    case LOp::ContinueOp: os << "continue"; break;
+    case LOp::ReturnOp: os << "return"; break;
+  }
+  os << '\n';
+}
+
+void dump_instrs(const std::vector<LInstrPtr>& body, std::ostream& os,
+                 int indent) {
+  for (const LInstrPtr& in : body) dump_instr(*in, os, indent);
+}
+
+}  // namespace
+
+std::string dump_lexpr(const LExpr& e) {
+  std::ostringstream ss;
+  dump_lexpr_to(e, ss);
+  return ss.str();
+}
+
+std::string dump_lir(const LProgram& p) {
+  std::ostringstream ss;
+  ss << "script:\n";
+  dump_instrs(p.script, ss, 1);
+  for (const LFunction& fn : p.functions) {
+    ss << "function " << fn.mangled << ":\n";
+    dump_instrs(fn.body, ss, 1);
+  }
+  return ss.str();
+}
+
+}  // namespace otter::lower

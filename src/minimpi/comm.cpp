@@ -1,0 +1,475 @@
+#include "minimpi/comm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <thread>
+
+#include <time.h>
+
+namespace otter::mpi {
+
+// -- profiles -----------------------------------------------------------------
+
+MachineProfile meiko_cs2() {
+  MachineProfile p;
+  p.name = "meiko_cs2";
+  p.max_ranks = 16;
+  p.ranks_per_node = 1;
+  // Scales measured host-CPU seconds up to a ~1997 CPU (the host is roughly
+  // 40x faster than the machines' UltraSPARC/SuperSPARC processors), so the
+  // compute/communication balance matches the paper's test beds.
+  p.cpu_scale = 40.0;
+  p.intra_latency = 20e-6;  // single CPU per node, but keep defined
+  p.intra_bandwidth = 200e6;
+  p.inter_latency = 20e-6;  // Elan network
+  p.inter_bandwidth = 40e6;
+  p.send_overhead = 4e-6;
+  p.recv_overhead = 4e-6;
+  return p;
+}
+
+MachineProfile sparc20_cluster() {
+  MachineProfile p;
+  p.name = "sparc20_cluster";
+  p.max_ranks = 16;
+  p.ranks_per_node = 4;  // four 4-CPU SMP boxes
+  p.cpu_scale = 60.0;    // SuperSPARC: slower still than the UltraSPARC
+
+  p.intra_latency = 30e-6;  // shared-memory MPI within a box
+  p.intra_bandwidth = 60e6;
+  p.inter_latency = 1.2e-3;  // TCP over 10 Mb/s Ethernet
+  p.inter_bandwidth = 1.05e6;
+  p.send_overhead = 15e-6;
+  p.recv_overhead = 15e-6;
+  p.shared_medium = true;
+  return p;
+}
+
+MachineProfile enterprise_smp() {
+  MachineProfile p;
+  p.name = "enterprise_smp";
+  p.max_ranks = 8;
+  p.ranks_per_node = 8;
+  p.cpu_scale = 40.0;
+  p.intra_latency = 10e-6;
+  p.intra_bandwidth = 150e6;
+  p.inter_latency = 10e-6;  // unused: one node
+  p.inter_bandwidth = 150e6;
+  p.send_overhead = 2e-6;
+  p.recv_overhead = 2e-6;
+  return p;
+}
+
+MachineProfile ideal(int max_ranks) {
+  MachineProfile p;
+  p.name = "ideal";
+  p.max_ranks = max_ranks;
+  p.ranks_per_node = max_ranks;
+  p.cpu_scale = 0.0;  // comm model only; no compute charging
+  return p;
+}
+
+MachineProfile profile_by_name(const std::string& name) {
+  if (name == "meiko_cs2") return meiko_cs2();
+  if (name == "sparc20_cluster") return sparc20_cluster();
+  if (name == "enterprise_smp") return enterprise_smp();
+  return ideal();
+}
+
+// -- network ------------------------------------------------------------------
+
+namespace detail {
+
+Network::Network(MachineProfile profile_in, int nranks_in)
+    : profile(std::move(profile_in)),
+      nranks(nranks_in),
+      final_vtimes(static_cast<size_t>(nranks_in), 0.0) {
+  boxes_.reserve(static_cast<size_t>(nranks));
+  for (int i = 0; i < nranks; ++i) {
+    boxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+void Network::deliver(int dst, Message msg) {
+  Mailbox& box = *boxes_.at(static_cast<size_t>(dst));
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.queue.push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+}
+
+Message Network::await(int dst, int src, int tag) {
+  Mailbox& box = *boxes_.at(static_cast<size_t>(dst));
+  std::unique_lock<std::mutex> lock(box.mu);
+  for (;;) {
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      if (it->src == src && it->tag == tag) {
+        Message msg = std::move(*it);
+        box.queue.erase(it);
+        return msg;
+      }
+    }
+    box.cv.wait(lock);
+  }
+}
+
+}  // namespace detail
+
+// -- Comm ---------------------------------------------------------------------
+
+Comm::Comm(detail::Network& net, int rank) : net_(net), rank_(rank) {
+  last_cpu_ = now_cpu();
+}
+
+double Comm::now_cpu() const {
+  struct timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+void Comm::charge_compute() {
+  double now = now_cpu();
+  double delta = now - last_cpu_;
+  last_cpu_ = now;
+  if (delta > 0) vtime_ += delta * net_.profile.cpu_scale;
+}
+
+void Comm::send(int dst, int tag, const void* data, size_t bytes) {
+  if (dst < 0 || dst >= size()) throw MpiError("send: bad destination rank");
+  charge_compute();
+  const MachineProfile& p = net_.profile;
+  double wire = p.latency(rank_, dst) +
+                static_cast<double>(bytes) / p.bandwidth(rank_, dst);
+  detail::Message msg;
+  msg.src = rank_;
+  msg.tag = tag;
+  msg.payload.resize(bytes);
+  std::memcpy(msg.payload.data(), data, bytes);
+  if (p.shared_medium && !p.same_node(rank_, dst)) {
+    // Half-duplex shared Ethernet: the sender occupies the wire for the full
+    // transfer, so back-to-back sends serialize at the sender.
+    vtime_ += p.send_overhead + wire;
+    msg.ready_vtime = vtime_;
+  } else {
+    // Switched fabric: sender is free again after the software overhead and
+    // transfers to distinct destinations pipeline.
+    vtime_ += p.send_overhead;
+    msg.ready_vtime = vtime_ + wire;
+  }
+  net_.deliver(dst, std::move(msg));
+}
+
+void Comm::recv(int src, int tag, void* data, size_t bytes) {
+  if (src < 0 || src >= size()) throw MpiError("recv: bad source rank");
+  charge_compute();
+  detail::Message msg = net_.await(rank_, src, tag);
+  if (msg.payload.size() != bytes) {
+    throw MpiError("recv: message size mismatch (expected " +
+                   std::to_string(bytes) + " bytes, got " +
+                   std::to_string(msg.payload.size()) + ")");
+  }
+  std::memcpy(data, msg.payload.data(), bytes);
+  // Clock may not move backwards: we waited (virtually) for the data.
+  vtime_ = std::max(vtime_ + net_.profile.recv_overhead, msg.ready_vtime);
+  // Waiting in await() burned host CPU in the condvar; do not charge it.
+  last_cpu_ = now_cpu();
+}
+
+namespace {
+constexpr int kTagBarrier = 1 << 20;
+constexpr int kTagBcast = 2 << 20;
+constexpr int kTagReduce = 3 << 20;
+constexpr int kTagGather = 4 << 20;
+constexpr int kTagScatter = 5 << 20;
+constexpr int kTagAllgather = 6 << 20;
+constexpr int kTagAlltoall = 7 << 20;
+}  // namespace
+
+void Comm::barrier() {
+  // Dissemination barrier: ceil(log2 P) rounds.
+  int p = size();
+  if (p == 1) {
+    charge_compute();
+    return;
+  }
+  double token = 0.0;
+  for (int round = 1; round < p; round <<= 1) {
+    int dst = (rank_ + round) % p;
+    int src = (rank_ - round % p + p) % p;
+    send(dst, kTagBarrier + round, &token, sizeof token);
+    recv(src, kTagBarrier + round, &token, sizeof token);
+  }
+}
+
+void Comm::bcast(void* data, size_t bytes, int root) {
+  int p = size();
+  if (p == 1) {
+    charge_compute();
+    return;
+  }
+  if (net_.profile.linear_collectives) {
+    // Ablation: root sends to every rank directly.
+    if (rank_ == root) {
+      for (int r = 0; r < p; ++r) {
+        if (r != root) send(r, kTagBcast, data, bytes);
+      }
+    } else {
+      recv(root, kTagBcast, data, bytes);
+    }
+    return;
+  }
+  // Binomial tree rooted at `root`. Relative rank r' = (rank - root) mod p.
+  int rel = (rank_ - root + p) % p;
+  // Receive from parent (unless root).
+  if (rel != 0) {
+    int mask = 1;
+    while (mask < p) {
+      if (rel & mask) break;
+      mask <<= 1;
+    }
+    int parent_rel = rel & ~mask;
+    int parent = (parent_rel + root) % p;
+    recv(parent, kTagBcast, data, bytes);
+    // Forward to children below that bit.
+    for (int child_mask = mask >> 1; child_mask >= 1; child_mask >>= 1) {
+      int child_rel = rel | child_mask;
+      if (child_rel < p) send((child_rel + root) % p, kTagBcast, data, bytes);
+    }
+  } else {
+    int top = 1;
+    while (top < p) top <<= 1;
+    for (int child_mask = top >> 1; child_mask >= 1; child_mask >>= 1) {
+      int child_rel = child_mask;
+      if (child_rel < p) send((child_rel + root) % p, kTagBcast, data, bytes);
+    }
+  }
+}
+
+namespace {
+void apply_reduce(double* acc, const double* in, size_t n,
+                  Comm::ReduceOp op) {
+  switch (op) {
+    case Comm::ReduceOp::Sum:
+      for (size_t i = 0; i < n; ++i) acc[i] += in[i];
+      break;
+    case Comm::ReduceOp::Min:
+      for (size_t i = 0; i < n; ++i) acc[i] = std::min(acc[i], in[i]);
+      break;
+    case Comm::ReduceOp::Max:
+      for (size_t i = 0; i < n; ++i) acc[i] = std::max(acc[i], in[i]);
+      break;
+    case Comm::ReduceOp::Prod:
+      for (size_t i = 0; i < n; ++i) acc[i] *= in[i];
+      break;
+  }
+}
+}  // namespace
+
+void Comm::reduce(const double* in, double* out, size_t n, ReduceOp op,
+                  int root) {
+  int p = size();
+  std::vector<double> acc(in, in + n);
+  if (p > 1 && net_.profile.linear_collectives) {
+    // Ablation: every rank sends its block straight to the root.
+    if (rank_ == root) {
+      std::vector<double> incoming(n);
+      for (int r = 0; r < p; ++r) {
+        if (r == root) continue;
+        recv(r, kTagReduce, incoming.data(), n * sizeof(double));
+        apply_reduce(acc.data(), incoming.data(), n, op);
+      }
+    } else {
+      send(root, kTagReduce, acc.data(), n * sizeof(double));
+    }
+    if (rank_ == root) std::copy(acc.begin(), acc.end(), out);
+    charge_compute();
+    return;
+  }
+  if (p > 1) {
+    int rel = (rank_ - root + p) % p;
+    std::vector<double> incoming(n);
+    // Binomial tree fold: children push partial results toward the root.
+    int mask = 1;
+    while (mask < p) {
+      if (rel & mask) {
+        int parent = ((rel & ~mask) + root) % p;
+        send(parent, kTagReduce, acc.data(), n * sizeof(double));
+        break;
+      }
+      int child_rel = rel | mask;
+      if (child_rel < p) {
+        recv((child_rel + root) % p, kTagReduce, incoming.data(),
+             n * sizeof(double));
+        apply_reduce(acc.data(), incoming.data(), n, op);
+      }
+      mask <<= 1;
+    }
+  }
+  if (rank_ == root) {
+    std::copy(acc.begin(), acc.end(), out);
+  }
+  charge_compute();
+}
+
+void Comm::allreduce(const double* in, double* out, size_t n, ReduceOp op) {
+  std::vector<double> tmp(n);
+  reduce(in, tmp.data(), n, op, 0);
+  if (rank_ == 0) std::copy(tmp.begin(), tmp.end(), out);
+  bcast(out, n * sizeof(double), 0);
+}
+
+double Comm::allreduce_scalar(double v, ReduceOp op) {
+  double out = 0.0;
+  allreduce(&v, &out, 1, op);
+  return out;
+}
+
+void Comm::allgatherv(const double* in, double* out,
+                      const std::vector<size_t>& counts) {
+  int p = size();
+  if (static_cast<int>(counts.size()) != p) {
+    throw MpiError("allgatherv: counts size != nranks");
+  }
+  std::vector<size_t> offsets(static_cast<size_t>(p) + 1, 0);
+  for (int r = 0; r < p; ++r) offsets[r + 1] = offsets[r] + counts[r];
+  // Copy own block.
+  std::copy(in, in + counts[rank_], out + offsets[rank_]);
+  if (p == 1) {
+    charge_compute();
+    return;
+  }
+  // Ring algorithm: p-1 steps, each rank forwards the block it received.
+  int right = (rank_ + 1) % p;
+  int left = (rank_ - 1 + p) % p;
+  int have = rank_;  // which rank's block we forward this step
+  for (int step = 0; step < p - 1; ++step) {
+    send(right, kTagAllgather + step, out + offsets[have],
+         counts[have] * sizeof(double));
+    int incoming = (rank_ - step - 1 + 2 * p) % p;  // block moving on the ring
+    recv(left, kTagAllgather + step, out + offsets[incoming],
+         counts[incoming] * sizeof(double));
+    have = incoming;
+  }
+}
+
+void Comm::gatherv(const double* in, double* out,
+                   const std::vector<size_t>& counts, int root) {
+  int p = size();
+  if (static_cast<int>(counts.size()) != p) {
+    throw MpiError("gatherv: counts size != nranks");
+  }
+  if (rank_ == root) {
+    size_t off = 0;
+    for (int r = 0; r < p; ++r) {
+      if (r == root) {
+        std::copy(in, in + counts[r], out + off);
+      } else if (counts[r] > 0) {
+        recv(r, kTagGather, out + off, counts[r] * sizeof(double));
+      }
+      off += counts[r];
+    }
+  } else if (counts[rank_] > 0) {
+    send(root, kTagGather, in, counts[rank_] * sizeof(double));
+  }
+  charge_compute();
+}
+
+void Comm::scatterv(const double* in, double* out,
+                    const std::vector<size_t>& counts, int root) {
+  int p = size();
+  if (static_cast<int>(counts.size()) != p) {
+    throw MpiError("scatterv: counts size != nranks");
+  }
+  if (rank_ == root) {
+    size_t off = 0;
+    for (int r = 0; r < p; ++r) {
+      if (r == root) {
+        std::copy(in + off, in + off + counts[r], out);
+      } else if (counts[r] > 0) {
+        send(r, kTagScatter, in + off, counts[r] * sizeof(double));
+      }
+      off += counts[r];
+    }
+  } else if (counts[rank_] > 0) {
+    recv(root, kTagScatter, out, counts[rank_] * sizeof(double));
+  }
+  charge_compute();
+}
+
+void Comm::alltoallv(const std::vector<std::vector<double>>& send_blocks,
+                     std::vector<std::vector<double>>& recv_blocks) {
+  int p = size();
+  if (static_cast<int>(send_blocks.size()) != p) {
+    throw MpiError("alltoallv: send_blocks size != nranks");
+  }
+  recv_blocks.assign(static_cast<size_t>(p), {});
+  recv_blocks[rank_] = send_blocks[rank_];
+  // Pairwise exchange: step s pairs rank with rank XOR-free (r +- s) pattern.
+  for (int step = 1; step < p; ++step) {
+    int dst = (rank_ + step) % p;
+    int src = (rank_ - step + p) % p;
+    // Exchange block sizes first.
+    double out_count = static_cast<double>(send_blocks[dst].size());
+    send(dst, kTagAlltoall + 2 * step, &out_count, sizeof out_count);
+    double in_count = 0;
+    recv(src, kTagAlltoall + 2 * step, &in_count, sizeof in_count);
+    recv_blocks[src].resize(static_cast<size_t>(in_count));
+    if (!send_blocks[dst].empty()) {
+      send(dst, kTagAlltoall + 2 * step + 1, send_blocks[dst].data(),
+           send_blocks[dst].size() * sizeof(double));
+    }
+    if (!recv_blocks[src].empty()) {
+      recv(src, kTagAlltoall + 2 * step + 1, recv_blocks[src].data(),
+           recv_blocks[src].size() * sizeof(double));
+    }
+  }
+}
+
+void Comm::finish() {
+  charge_compute();
+  net_.final_vtimes[static_cast<size_t>(rank_)] = vtime_;
+}
+
+// -- runner -------------------------------------------------------------------
+
+double RunResult::max_vtime() const {
+  double m = 0.0;
+  for (double t : vtimes) m = std::max(m, t);
+  return m;
+}
+
+RunResult run_spmd(const MachineProfile& profile, int nranks,
+                   const std::function<void(Comm&)>& body) {
+  if (nranks < 1) throw MpiError("run_spmd: need at least one rank");
+  if (nranks > profile.max_ranks) {
+    throw MpiError("run_spmd: profile '" + profile.name + "' supports at most " +
+                   std::to_string(profile.max_ranks) + " ranks");
+  }
+  detail::Network net(profile, nranks);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<size_t>(nranks));
+  threads.reserve(static_cast<size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r]() {
+      try {
+        Comm comm(net, r);
+        body(comm);
+        comm.finish();
+      } catch (...) {
+        errors[static_cast<size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  RunResult result;
+  result.vtimes = net.final_vtimes;
+  return result;
+}
+
+}  // namespace otter::mpi

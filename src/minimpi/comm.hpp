@@ -1,0 +1,179 @@
+// minimpi: a thread-rank message-passing library with virtual time.
+//
+// Implements the MPI subset the Otter run-time library needs (the paper
+// targets "any parallel computer supporting a C compiler and the MPI
+// message-passing library"). Ranks are std::threads inside one process;
+// message payloads move through in-memory mailboxes.
+//
+// Virtual time: every rank owns a clock that advances by
+//   (a) its measured per-thread CPU time between communication calls,
+//       scaled by the machine profile's cpu_scale — immune to host core
+//       count and oversubscription; and
+//   (b) analytic communication costs (latency + bytes/bandwidth with
+//       intra-/inter-node distinction and shared-medium serialization).
+// Speedup figures report max-over-ranks virtual time, which is exactly the
+// quantity the paper's figures plot.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "minimpi/profile.hpp"
+
+namespace otter::mpi {
+
+class MpiError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+struct Message {
+  int src = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+  double ready_vtime = 0.0;  // virtual time at which the data has arrived
+};
+
+/// Shared state for one SPMD run: one mailbox per rank plus final clocks.
+class Network {
+ public:
+  Network(MachineProfile profile, int nranks);
+
+  void deliver(int dst, Message msg);
+  Message await(int dst, int src, int tag);
+
+  const MachineProfile profile;
+  const int nranks;
+
+  // Final per-rank virtual times, filled in as ranks finish.
+  std::vector<double> final_vtimes;
+
+ private:
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
+};
+
+}  // namespace detail
+
+/// Per-rank communicator handle. Passed to the SPMD body; also carries the
+/// rank's virtual clock.
+class Comm {
+ public:
+  Comm(detail::Network& net, int rank);
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return net_.nranks; }
+  [[nodiscard]] const MachineProfile& profile() const { return net_.profile; }
+
+  // -- virtual clock ---------------------------------------------------------
+
+  /// Folds CPU time burned since the last call into the virtual clock.
+  /// Called implicitly by every communication operation.
+  void charge_compute();
+
+  /// Adds explicit virtual seconds (used by tests and cost modelling).
+  void charge(double seconds) { vtime_ += seconds; }
+
+  [[nodiscard]] double vtime() const { return vtime_; }
+
+  // -- point-to-point ----------------------------------------------------------
+
+  void send(int dst, int tag, const void* data, size_t bytes);
+  void recv(int src, int tag, void* data, size_t bytes);
+
+  template <typename T>
+  void send(int dst, int tag, std::span<const T> data) {
+    send(dst, tag, data.data(), data.size_bytes());
+  }
+  template <typename T>
+  void recv(int src, int tag, std::span<T> data) {
+    recv(src, tag, data.data(), data.size_bytes());
+  }
+  void send_scalar(int dst, int tag, double v) { send(dst, tag, &v, sizeof v); }
+  double recv_scalar(int src, int tag) {
+    double v;
+    recv(src, tag, &v, sizeof v);
+    return v;
+  }
+
+  // -- collectives -------------------------------------------------------------
+  // All collectives are built from the p2p primitives so communication cost
+  // falls out of the network model (binomial trees on switched fabrics
+  // degrade naturally on the shared-medium profile).
+
+  void barrier();
+
+  /// Broadcast `bytes` from root to everyone (binomial tree).
+  void bcast(void* data, size_t bytes, int root = 0);
+  double bcast_scalar(double v, int root = 0) {
+    bcast(&v, sizeof v, root);
+    return v;
+  }
+
+  enum class ReduceOp { Sum, Min, Max, Prod };
+
+  /// Element-wise reduction of n doubles to root (binomial tree).
+  void reduce(const double* in, double* out, size_t n, ReduceOp op,
+              int root = 0);
+  /// Reduce + broadcast.
+  void allreduce(const double* in, double* out, size_t n, ReduceOp op);
+  double allreduce_scalar(double v, ReduceOp op);
+
+  /// Concatenate variable-length blocks from every rank on every rank.
+  /// counts[r] is rank r's element count; `in` holds this rank's block;
+  /// `out` must have sum(counts) elements, laid out in rank order (ring).
+  void allgatherv(const double* in, double* out,
+                  const std::vector<size_t>& counts);
+
+  /// Gather variable-length blocks to root; out is only written on root.
+  void gatherv(const double* in, double* out,
+               const std::vector<size_t>& counts, int root = 0);
+
+  /// Scatter variable-length blocks from root; `in` only read on root.
+  void scatterv(const double* in, double* out,
+                const std::vector<size_t>& counts, int root = 0);
+
+  /// Personalized all-to-all: send_blocks[r] goes to rank r; returns
+  /// recv_blocks[r] received from rank r. Used by distributed transpose.
+  void alltoallv(const std::vector<std::vector<double>>& send_blocks,
+                 std::vector<std::vector<double>>& recv_blocks);
+
+  /// Records this rank's final virtual time into the network (call last).
+  void finish();
+
+ private:
+  [[nodiscard]] double now_cpu() const;
+
+  detail::Network& net_;
+  int rank_;
+  double vtime_ = 0.0;
+  double last_cpu_ = 0.0;
+};
+
+/// Result of one SPMD execution.
+struct RunResult {
+  std::vector<double> vtimes;  // per-rank final virtual times
+  [[nodiscard]] double max_vtime() const;
+};
+
+/// Runs `body` on `nranks` ranks (threads) over a fresh network and returns
+/// the per-rank virtual times. Exceptions thrown by any rank are rethrown.
+RunResult run_spmd(const MachineProfile& profile, int nranks,
+                   const std::function<void(Comm&)>& body);
+
+}  // namespace otter::mpi

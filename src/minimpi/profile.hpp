@@ -1,0 +1,77 @@
+// Machine profiles for the virtual-time network model.
+//
+// The paper evaluates on three parallel architectures. We reproduce their
+// communication behaviour with LogP-style analytic parameters. Values are
+// chosen to match the published characteristics of each machine circa 1997:
+//
+//  * Meiko CS-2: 16 single-CPU nodes on a fat-tree network — the paper calls
+//    it "the best balance between processor speed, message latency, and
+//    aggregate message-passing bandwidth".
+//  * SPARCserver-20 cluster: four 4-CPU SMPs on shared 10 Mb/s Ethernet —
+//    "relatively high latency and low bandwidth … puts a severe damper on
+//    speedup achieved beyond four CPUs".
+//  * Sun Enterprise SMP: 8 CPUs on a shared memory bus.
+#pragma once
+
+#include <string>
+
+namespace otter::mpi {
+
+struct MachineProfile {
+  std::string name;
+  int max_ranks = 16;
+  int ranks_per_node = 1;
+
+  /// Multiplier applied to measured per-thread CPU seconds, letting one host
+  /// model machines with different single-CPU speeds. 0 disables compute
+  /// charging entirely (used by unit tests to isolate the comm model).
+  double cpu_scale = 1.0;
+
+  // Point-to-point parameters (seconds, bytes/second).
+  double intra_latency = 0.0;
+  double intra_bandwidth = 1e12;
+  double inter_latency = 0.0;
+  double inter_bandwidth = 1e12;
+
+  /// Per-message fixed software overhead charged to sender/receiver.
+  double send_overhead = 0.0;
+  double recv_overhead = 0.0;
+
+  /// Shared-medium semantics (Ethernet): an inter-node transfer occupies the
+  /// sender for the full wire time, so successive sends serialize instead of
+  /// pipelining. This is what flattens the cluster's speedup past one box.
+  bool shared_medium = false;
+
+  /// Collective-algorithm ablation: when true, broadcast and reduce use the
+  /// naive linear algorithm (root exchanges with every rank directly)
+  /// instead of binomial trees.
+  bool linear_collectives = false;
+
+  [[nodiscard]] bool same_node(int a, int b) const {
+    return a / ranks_per_node == b / ranks_per_node;
+  }
+  [[nodiscard]] double latency(int a, int b) const {
+    return same_node(a, b) ? intra_latency : inter_latency;
+  }
+  [[nodiscard]] double bandwidth(int a, int b) const {
+    return same_node(a, b) ? intra_bandwidth : inter_bandwidth;
+  }
+};
+
+/// 16-node Meiko CS-2: ~15 us latency, ~40 MB/s per link, switched fabric.
+MachineProfile meiko_cs2();
+
+/// 4 x SPARCserver-20 (4 CPUs each) on 10 Mb/s shared Ethernet.
+MachineProfile sparc20_cluster();
+
+/// 8-CPU Sun Enterprise SMP: message passing through shared memory.
+MachineProfile enterprise_smp();
+
+/// Zero-cost network with no compute charging; for unit tests.
+MachineProfile ideal(int max_ranks = 64);
+
+/// Looks up a profile by name ("meiko_cs2", "sparc20_cluster",
+/// "enterprise_smp", "ideal"); returns ideal() for unknown names.
+MachineProfile profile_by_name(const std::string& name);
+
+}  // namespace otter::mpi

@@ -1,0 +1,208 @@
+// Distributed matrices/vectors — the C++ analogue of the paper's MATRIX
+// structure.
+//
+// "Every matrix and vector is represented on each processor by a C structure
+//  named MATRIX which contains global information about its type, rank, and
+//  shape. This structure also contains processor-dependent information, such
+//  as the total number of matrix elements stored on a particular processor
+//  and the address in that processor's local memory of its first matrix
+//  element."
+//
+// Scalars are replicated (plain doubles in generated code); DMat handles the
+// distributed rank. Matrices are distributed row-contiguously, vectors by
+// element blocks, and objects of identical size are distributed identically
+// so element-wise operations never communicate (paper §3 assumptions 1–3).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "minimpi/comm.hpp"
+#include "rtlib/layout.hpp"
+
+namespace otter::rt {
+
+class RtError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One rank's handle on a distributed real matrix.
+class DMat {
+ public:
+  DMat() = default;
+
+  /// Creates a zero-initialised rows x cols object distributed over comm.
+  DMat(mpi::Comm& comm, size_t rows, size_t cols, Dist dist = Dist::RowBlock);
+
+  [[nodiscard]] size_t rows() const { return rows_; }
+  [[nodiscard]] size_t cols() const { return cols_; }
+  [[nodiscard]] size_t numel() const { return rows_ * cols_; }
+  [[nodiscard]] bool is_vector() const { return rows_ == 1 || cols_ == 1; }
+  [[nodiscard]] int rank() const { return rank_; }
+
+  /// Distribution unit: elements for vectors, rows for matrices.
+  [[nodiscard]] const Layout& layout() const { return layout_; }
+
+  /// Number of *elements* stored locally (paper: ML_local_els).
+  [[nodiscard]] size_t local_elements() const { return local_.size(); }
+
+  [[nodiscard]] std::span<double> local() { return local_; }
+  [[nodiscard]] std::span<const double> local() const { return local_; }
+
+  /// Global (row, col) of local element index `i` on this rank.
+  [[nodiscard]] size_t local_to_global_row(size_t i) const;
+  [[nodiscard]] size_t local_to_global_col(size_t i) const;
+
+  /// True iff this rank stores global element (r, c) — paper: ML_owner.
+  [[nodiscard]] bool owns(size_t r, size_t c) const;
+
+  /// Owner rank of global element (r, c).
+  [[nodiscard]] int owner_of(size_t r, size_t c) const;
+
+  /// Local buffer index of global (r, c); only valid on the owner.
+  [[nodiscard]] size_t local_index(size_t r, size_t c) const;
+
+  /// Two objects are aligned (element-wise ops need no communication) when
+  /// shapes and distributions match — paper assumption 2.
+  [[nodiscard]] bool aligned_with(const DMat& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_ && layout_ == o.layout_;
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  int rank_ = 0;
+  Layout layout_;
+  std::vector<double> local_;
+};
+
+/// Element-wise operator codes shared between the direct executor and
+/// generated C code.
+enum class EwBin : uint8_t {
+  Add, Sub, Mul, Div, Pow, Lt, Le, Gt, Ge, Eq, Ne, And, Or, Mod, Rem,
+  Min, Max,
+};
+enum class EwUn : uint8_t {
+  Neg, Not, Abs, Sqrt, Exp, Log, Sin, Cos, Tan, Floor, Ceil, Round, Sign,
+};
+
+double ew_apply_bin(EwBin op, double a, double b);
+double ew_apply_un(EwUn op, double a);
+
+// -- construction -------------------------------------------------------------
+
+/// Builds a distributed object from replicated full data (row-major).
+DMat from_full(mpi::Comm& comm, size_t rows, size_t cols,
+               std::span<const double> data, Dist dist = Dist::RowBlock);
+
+/// Gathers to a replicated full copy on every rank (gather at root + bcast).
+std::vector<double> to_full(mpi::Comm& comm, const DMat& m);
+
+DMat fill_zeros(mpi::Comm& comm, size_t rows, size_t cols,
+                Dist dist = Dist::RowBlock);
+DMat fill_ones(mpi::Comm& comm, size_t rows, size_t cols,
+               Dist dist = Dist::RowBlock);
+DMat fill_eye(mpi::Comm& comm, size_t rows, size_t cols,
+              Dist dist = Dist::RowBlock);
+DMat fill_value(mpi::Comm& comm, size_t rows, size_t cols, double v,
+                Dist dist = Dist::RowBlock);
+
+/// lo : step : hi as a distributed row vector.
+DMat fill_range(mpi::Comm& comm, double lo, double step, double hi,
+                Dist dist = Dist::RowBlock);
+DMat fill_linspace(mpi::Comm& comm, double lo, double hi, size_t n,
+                   Dist dist = Dist::RowBlock);
+
+/// Deterministic rand(rows, cols): element (r, c) gets the same value the
+/// interpreter's LCG produces at flat index r*cols + c, regardless of rank
+/// count — every backend computes identical data. `seq` is the number of
+/// rand values generated so far (the caller advances it by rows*cols).
+DMat fill_rand(mpi::Comm& comm, size_t rows, size_t cols, uint64_t seed,
+               uint64_t seq, Dist dist = Dist::RowBlock);
+
+// -- element access -----------------------------------------------------------
+
+/// Replicated read of global element (r, c): the owner broadcasts
+/// (paper: ML_broadcast of d(i, j)). 0-based indices.
+double get_element(mpi::Comm& comm, const DMat& m, size_t r, size_t c);
+
+/// Replicated write: only the owner stores (paper pass 5's owner guard);
+/// every rank must call with the same value. 0-based indices.
+void set_element(mpi::Comm& comm, DMat& m, size_t r, size_t c, double v);
+
+// -- communication-free element-wise helpers -----------------------------------
+// Identical-size objects are identically distributed, so these touch only
+// local storage. Generated C code emits raw loops with the same semantics.
+
+DMat ew_binary(mpi::Comm& comm, EwBin op, const DMat& a, const DMat& b);
+DMat ew_binary_scalar(mpi::Comm& comm, EwBin op, const DMat& a, double s,
+                      bool scalar_left);
+DMat ew_unary(mpi::Comm& comm, EwUn op, const DMat& a);
+
+// -- operations requiring communication ----------------------------------------
+
+/// C = A * B (paper: ML_matrix_multiply). Row-distributed A and B: B is
+/// allgathered, then each rank computes its C rows locally.
+DMat matmul(mpi::Comm& comm, const DMat& a, const DMat& b);
+
+/// y = A * x with x a distributed vector (paper: ML_matrix_vector_multiply).
+DMat matvec(mpi::Comm& comm, const DMat& a, const DMat& x);
+
+/// x' * A for row-vector results (vector-matrix product).
+DMat vecmat(mpi::Comm& comm, const DMat& x, const DMat& a);
+
+/// Outer product column * row -> matrix.
+DMat outer(mpi::Comm& comm, const DMat& col, const DMat& row);
+
+/// Dot product of two vectors (local dot + allreduce).
+double dot(mpi::Comm& comm, const DMat& a, const DMat& b);
+
+double reduce_sum(mpi::Comm& comm, const DMat& m);
+double reduce_min(mpi::Comm& comm, const DMat& m);
+double reduce_max(mpi::Comm& comm, const DMat& m);
+double reduce_mean(mpi::Comm& comm, const DMat& m);
+double reduce_prod(mpi::Comm& comm, const DMat& m);
+
+/// Column-wise sums of a matrix as a distributed 1 x cols vector.
+DMat colwise_sum(mpi::Comm& comm, const DMat& m, bool mean);
+DMat colwise_minmax(mpi::Comm& comm, const DMat& m, bool is_min);
+
+/// Transpose (alltoallv redistribution).
+DMat transpose(mpi::Comm& comm, const DMat& m);
+
+/// Contiguous 1-D slice x(lo..hi) (0-based, inclusive) as a new distributed
+/// vector with block layout — redistributes across ranks.
+DMat slice_vector(mpi::Comm& comm, const DMat& x, size_t lo, size_t hi);
+
+/// Row r / column c of a matrix as a new distributed vector.
+DMat extract_row(mpi::Comm& comm, const DMat& m, size_t r);
+DMat extract_col(mpi::Comm& comm, const DMat& m, size_t c);
+
+/// Writes a whole row/column of a matrix from a distributed vector.
+void assign_row(mpi::Comm& comm, DMat& m, size_t r, const DMat& v);
+void assign_col(mpi::Comm& comm, DMat& m, size_t c, const DMat& v);
+
+/// Writes a contiguous 1-D slice of x from another distributed vector.
+void assign_slice(mpi::Comm& comm, DMat& x, size_t lo, size_t hi,
+                  const DMat& v);
+
+/// trapz with unit spacing / with coordinates (boundary exchange + allreduce).
+double trapz(mpi::Comm& comm, const DMat& y);
+double trapz_xy(mpi::Comm& comm, const DMat& x, const DMat& y);
+
+/// Vector 2-norm.
+double norm2(mpi::Comm& comm, const DMat& v);
+
+/// Loads a plain-text matrix file (rank 0 reads and broadcasts — the paper's
+/// "one processor coordinates all I/O operations"). The compiler inferred
+/// type/rank from the same file at compile time (paper pass 3).
+DMat load_matrix(mpi::Comm& comm, const std::string& path,
+                 Dist dist = Dist::RowBlock);
+
+/// Formats the matrix exactly like the interpreter's disp (gather to rank 0;
+/// result only meaningful on rank 0).
+std::string format_dmat(mpi::Comm& comm, const DMat& m);
+
+}  // namespace otter::rt

@@ -1,0 +1,81 @@
+// Data-distribution maps for the Otter run-time library.
+//
+// The paper: "matrices are distributed in row-contiguous fashion among the
+// memories of the processors, while vectors are distributed by blocks" and
+// "data distribution decisions are made within the run-time library …
+// making it easier to experiment with alternative data distribution
+// strategies". Layout encapsulates those decisions; RowBlock is the paper's
+// strategy, Cyclic is the alternative exercised by the distribution ablation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace otter::rt {
+
+enum class Dist : uint8_t {
+  RowBlock,  // contiguous blocks (paper default)
+  Cyclic,    // round-robin (ablation alternative)
+};
+
+/// Partition of `n` items (rows of a matrix, or elements of a vector)
+/// across `p` ranks.
+class Layout {
+ public:
+  Layout() = default;
+  Layout(size_t n, int p, Dist dist = Dist::RowBlock)
+      : n_(n), p_(p), dist_(dist) {}
+
+  [[nodiscard]] size_t total() const { return n_; }
+  [[nodiscard]] int nranks() const { return p_; }
+  [[nodiscard]] Dist dist() const { return dist_; }
+
+  /// Number of items owned by `rank`.
+  [[nodiscard]] size_t count(int rank) const {
+    if (dist_ == Dist::RowBlock) return block_hi(rank) - block_lo(rank);
+    size_t base = n_ / static_cast<size_t>(p_);
+    return base + (static_cast<size_t>(rank) < n_ % static_cast<size_t>(p_) ? 1 : 0);
+  }
+
+  /// Global index of `rank`'s `i`-th local item.
+  [[nodiscard]] size_t to_global(int rank, size_t i) const {
+    if (dist_ == Dist::RowBlock) return block_lo(rank) + i;
+    return i * static_cast<size_t>(p_) + static_cast<size_t>(rank);
+  }
+
+  /// Owner rank of global item `g`.
+  [[nodiscard]] int owner(size_t g) const {
+    if (dist_ == Dist::RowBlock) {
+      // Inverse of the floor partition: candidate then fix up.
+      auto cand = static_cast<int>((g * static_cast<size_t>(p_) + p_ - 1) / (n_ ? n_ : 1));
+      if (cand >= p_) cand = p_ - 1;
+      while (cand > 0 && g < block_lo(cand)) --cand;
+      while (cand + 1 < p_ && g >= block_hi(cand)) ++cand;
+      return cand;
+    }
+    return static_cast<int>(g % static_cast<size_t>(p_));
+  }
+
+  /// Local index of global item `g` on its owner.
+  [[nodiscard]] size_t to_local(size_t g) const {
+    if (dist_ == Dist::RowBlock) return g - block_lo(owner(g));
+    return g / static_cast<size_t>(p_);
+  }
+
+  /// First global index owned by `rank` under RowBlock.
+  [[nodiscard]] size_t block_lo(int rank) const {
+    return n_ * static_cast<size_t>(rank) / static_cast<size_t>(p_);
+  }
+  [[nodiscard]] size_t block_hi(int rank) const {
+    return n_ * (static_cast<size_t>(rank) + 1) / static_cast<size_t>(p_);
+  }
+
+  friend bool operator==(const Layout&, const Layout&) = default;
+
+ private:
+  size_t n_ = 0;
+  int p_ = 1;
+  Dist dist_ = Dist::RowBlock;
+};
+
+}  // namespace otter::rt

@@ -1,0 +1,101 @@
+// Type, rank, and shape inference — the paper's third pass.
+//
+// "The third pass of the compiler determines the type, shape, and rank of
+//  the variables … variables may have one of four types: literal, integer,
+//  real, and complex. … A variable may have either scalar or matrix rank.
+//  Each matrix variable has an associated shape … As much as possible, type
+//  and rank information is determined at compile time."
+//
+// Works on SSA form: every SSA version gets a lattice value; phis join;
+// a fixpoint iteration handles loops. Per-variable storage classes (the
+// join over versions) drive code generation: scalars become replicated
+// doubles, matrices become distributed run-time objects. Shapes propagate
+// as compile-time constants where available (unknown dimensions are -1 and
+// resolved at run time, as the paper allows).
+#pragma once
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "frontend/ast.hpp"
+#include "sema/ssa.hpp"
+#include "support/diag.hpp"
+
+namespace otter::sema {
+
+enum class BaseType : uint8_t { Bottom = 0, Literal, Integer, Real, Complex };
+enum class RankKind : uint8_t { Bottom = 0, Scalar, Matrix };
+
+[[nodiscard]] const char* base_type_name(BaseType t);
+[[nodiscard]] const char* rank_name(RankKind r);
+
+/// Lattice value for one SSA version / expression.
+struct Ty {
+  BaseType type = BaseType::Bottom;
+  RankKind rank = RankKind::Bottom;
+  long rows = -1;  // -1 = not known at compile time
+  long cols = -1;
+  // Compile-time constant value of a scalar, when known (drives shape
+  // inference through variables: n = 2048; x = zeros(n, 1)).
+  double cval = 0.0;
+  bool has_cval = false;
+
+  [[nodiscard]] bool is_scalar() const { return rank == RankKind::Scalar; }
+  [[nodiscard]] bool is_matrix() const { return rank == RankKind::Matrix; }
+  [[nodiscard]] bool defined() const { return type != BaseType::Bottom; }
+
+  static Ty scalar(BaseType t) { return {t, RankKind::Scalar, 1, 1, 0.0, false}; }
+  static Ty constant(BaseType t, double v) {
+    return {t, RankKind::Scalar, 1, 1, v, true};
+  }
+  static Ty matrix(BaseType t, long r = -1, long c = -1) {
+    return {t, RankKind::Matrix, r, c, 0.0, false};
+  }
+
+  friend bool operator==(const Ty&, const Ty&) = default;
+};
+
+/// Lattice join; sets *conflict when literal meets numeric.
+Ty join(const Ty& a, const Ty& b, bool* conflict = nullptr);
+
+/// Inference results for one scope.
+struct ScopeTypes {
+  /// Per-variable, per-SSA-version lattice values.
+  std::unordered_map<std::string, std::vector<Ty>> versions;
+  /// Type of every expression node in the scope.
+  std::unordered_map<const Expr*, Ty> expr_types;
+  /// Storage class per variable name (join over all versions) — what the
+  /// code generator declares.
+  std::unordered_map<std::string, Ty> var_class;
+};
+
+/// One monomorphic instance of a user function (specialised per argument
+/// signature, since Otter does not inline M-files the way FALCON does).
+struct FnInstance {
+  const Function* fn = nullptr;
+  std::string mangled;
+  std::vector<Ty> arg_types;
+  std::vector<Ty> out_types;
+  ScopeTypes types;
+};
+
+struct InferResult {
+  ScopeTypes script;
+  /// Instances keyed by mangled name (deterministic iteration for codegen).
+  std::map<std::string, FnInstance> instances;
+  /// Which instance each resolved user-function Call expression binds to.
+  std::unordered_map<const Expr*, std::string> call_instance;
+  /// SSA for the script and for each function (built once, shared by all
+  /// of a function's instances).
+  ScopeSsa script_ssa;
+  std::map<const Function*, ScopeSsa> fn_ssa;
+};
+
+/// Runs SSA construction + inference over the whole resolved program.
+/// Reports rank/type problems through diags; returns the result regardless
+/// (callers check diags.has_errors()).
+InferResult infer_program(Program& prog, DiagEngine& diags);
+
+}  // namespace otter::sema

@@ -1,0 +1,224 @@
+#include "sema/resolve.hpp"
+
+#include <unordered_set>
+
+#include "frontend/builtins.hpp"
+#include "frontend/parser.hpp"
+
+namespace otter::sema {
+
+namespace {
+
+/// Collects the set of names assigned anywhere in a statement list.
+void collect_assigned(const std::vector<StmtPtr>& body,
+                      std::unordered_set<std::string>& out) {
+  for (const StmtPtr& s : body) {
+    switch (s->kind) {
+      case StmtKind::Assign:
+        for (const LValue& t : s->targets) out.insert(t.name);
+        break;
+      case StmtKind::For:
+        out.insert(s->loop_var);
+        collect_assigned(s->body, out);
+        break;
+      case StmtKind::While:
+        collect_assigned(s->body, out);
+        break;
+      case StmtKind::If:
+        for (const IfArm& arm : s->arms) collect_assigned(arm.body, out);
+        break;
+      case StmtKind::Global:
+        for (const std::string& n : s->names) out.insert(n);
+        break;
+      case StmtKind::ExprStmt:
+        out.insert("ans");
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+class Resolver {
+ public:
+  Resolver(Program& prog, SourceManager& sm, DiagEngine& diags,
+           const MFileLoader& loader)
+      : prog_(prog), sm_(sm), diags_(diags), loader_(loader) {}
+
+  void run() {
+    std::unordered_set<std::string> script_vars;
+    collect_assigned(prog_.script, script_vars);
+    resolve_block(prog_.script, script_vars);
+    // Functions pulled in while resolving the script get resolved in turn
+    // (the worklist grows as new M-files are discovered).
+    while (!worklist_.empty()) {
+      std::string name = std::move(worklist_.back());
+      worklist_.pop_back();
+      auto it = prog_.functions.find(name);
+      if (it == prog_.functions.end()) continue;
+      Function& fn = *it->second;
+      std::unordered_set<std::string> vars;
+      for (const std::string& p : fn.params) vars.insert(p);
+      for (const std::string& o : fn.outs) vars.insert(o);
+      collect_assigned(fn.body, vars);
+      resolve_block(fn.body, vars);
+    }
+  }
+
+ private:
+  void resolve_block(const std::vector<StmtPtr>& body,
+                     const std::unordered_set<std::string>& vars) {
+    for (const StmtPtr& s : body) resolve_stmt(*s, vars);
+  }
+
+  void resolve_stmt(Stmt& s, const std::unordered_set<std::string>& vars) {
+    switch (s.kind) {
+      case StmtKind::ExprStmt:
+        resolve_expr(*s.expr, vars);
+        break;
+      case StmtKind::Assign:
+        resolve_expr(*s.expr, vars);
+        for (LValue& t : s.targets) {
+          for (ExprPtr& ix : t.indices) resolve_expr(*ix, vars);
+        }
+        break;
+      case StmtKind::If:
+        for (IfArm& arm : s.arms) {
+          if (arm.cond) resolve_expr(*arm.cond, vars);
+          resolve_block(arm.body, vars);
+        }
+        break;
+      case StmtKind::While:
+        resolve_expr(*s.expr, vars);
+        resolve_block(s.body, vars);
+        break;
+      case StmtKind::For:
+        resolve_expr(*s.expr, vars);
+        resolve_block(s.body, vars);
+        break;
+      default:
+        break;
+    }
+  }
+
+  void resolve_expr(Expr& e, const std::unordered_set<std::string>& vars) {
+    switch (e.kind) {
+      case ExprKind::Ident:
+        if (vars.contains(e.name)) {
+          e.callee = CalleeKind::Variable;
+        } else if (resolve_function(e.name, e.loc)) {
+          e.callee = prog_.functions.contains(e.name)
+                         ? CalleeKind::UserFunction
+                         : CalleeKind::Builtin;
+        } else if (e.name == "i" || e.name == "j") {
+          e.callee = CalleeKind::Builtin;  // imaginary unit
+        } else {
+          diags_.error(e.loc, "undefined variable or function '" + e.name + "'");
+        }
+        break;
+      case ExprKind::Call: {
+        for (ExprPtr& a : e.args) resolve_expr(*a, vars);
+        if (vars.contains(e.name)) {
+          e.callee = CalleeKind::Variable;  // indexing
+          if (e.args.size() > 2) {
+            diags_.error(e.loc,
+                         "only 1- and 2-dimensional indexing is supported");
+          }
+        } else if (resolve_function(e.name, e.loc)) {
+          if (prog_.functions.contains(e.name)) {
+            e.callee = CalleeKind::UserFunction;
+            const Function& fn = *prog_.functions.at(e.name);
+            if (e.args.size() > fn.params.size()) {
+              diags_.error(e.loc, "too many arguments to '" + e.name + "'");
+            }
+          } else {
+            e.callee = CalleeKind::Builtin;
+            const BuiltinInfo* b = find_builtin(e.name);
+            int argc = static_cast<int>(e.args.size());
+            if (argc < b->min_args ||
+                (b->max_args >= 0 && argc > b->max_args)) {
+              diags_.error(e.loc, "wrong number of arguments to '" + e.name +
+                                      "'");
+            }
+          }
+          // ':'/'end' are only meaningful when indexing a variable.
+          for (const ExprPtr& a : e.args) {
+            if (a->kind == ExprKind::Colon || a->kind == ExprKind::End) {
+              diags_.error(a->loc,
+                           "':'/'end' is only valid when indexing a variable");
+            }
+          }
+        } else {
+          diags_.error(e.loc,
+                       "undefined variable or function '" + e.name + "'");
+        }
+        break;
+      }
+      case ExprKind::Unary:
+        resolve_expr(*e.lhs, vars);
+        break;
+      case ExprKind::Binary:
+        resolve_expr(*e.lhs, vars);
+        resolve_expr(*e.rhs, vars);
+        break;
+      case ExprKind::Range:
+        resolve_expr(*e.lhs, vars);
+        if (e.step) resolve_expr(*e.step, vars);
+        resolve_expr(*e.rhs, vars);
+        break;
+      case ExprKind::Matrix:
+        for (auto& row : e.rows) {
+          for (ExprPtr& el : row) resolve_expr(*el, vars);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  /// True if `name` is callable: already-known user function, loadable
+  /// M-file (loaded on demand), or builtin.
+  bool resolve_function(const std::string& name, SourceLoc loc) {
+    if (prog_.functions.contains(name)) return true;
+    if (find_builtin(name) != nullptr) return true;
+    if (loader_) {
+      if (std::optional<std::string> text = loader_(name)) {
+        DiagEngine sub(&sm_);
+        ParsedFile pf = parse_string(*text, sm_, sub, name + ".m");
+        if (sub.has_errors()) {
+          diags_.error(loc, "errors while parsing M-file '" + name + ".m':\n" +
+                                sub.to_string());
+          return false;
+        }
+        if (pf.functions.empty()) {
+          diags_.error(loc, "M-file '" + name + ".m' does not define a function");
+          return false;
+        }
+        for (auto& fn : pf.functions) {
+          std::string fname = fn->name;
+          prog_.functions.emplace(fname, std::move(fn));
+          worklist_.push_back(fname);
+        }
+        return prog_.functions.contains(name);
+      }
+    }
+    return false;
+  }
+
+  Program& prog_;
+  SourceManager& sm_;
+  DiagEngine& diags_;
+  const MFileLoader& loader_;
+  std::vector<std::string> worklist_;
+};
+
+}  // namespace
+
+bool resolve_program(Program& prog, SourceManager& sm, DiagEngine& diags,
+                     const MFileLoader& loader) {
+  size_t before = diags.error_count();
+  Resolver(prog, sm, diags, loader).run();
+  return diags.error_count() == before;
+}
+
+}  // namespace otter::sema

@@ -1,0 +1,35 @@
+// Identifier resolution — the paper's second compiler pass.
+//
+// "Beginning with the original script, it determines which identifiers
+//  correspond to variables and which correspond to functions. User M-file
+//  functions identified during this pass are scanned, parsed, and eventually
+//  subjected to the same identifier resolution algorithm. At the end of this
+//  pass every M-file in the user's program has been added to the AST."
+//
+// MATLAB's static rule: a name is a variable in a scope iff it is assigned
+// somewhere in that scope (assignment target, loop variable, parameter,
+// output, or global declaration). Every other applied name must resolve to a
+// user M-file function or a builtin.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "frontend/ast.hpp"
+#include "support/diag.hpp"
+
+namespace otter::sema {
+
+/// Callback that loads the source text of `name`.m, or nullopt if there is
+/// no such M-file. The default driver searches the script's directory.
+using MFileLoader =
+    std::function<std::optional<std::string>(const std::string& name)>;
+
+/// Resolves every Ident/Call in the program, pulling referenced user M-files
+/// into prog.functions via `loader`. Reports unresolvable names and arity
+/// errors through `diags`. Returns false if any error was produced.
+bool resolve_program(Program& prog, SourceManager& sm, DiagEngine& diags,
+                     const MFileLoader& loader = {});
+
+}  // namespace otter::sema

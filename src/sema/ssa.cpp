@@ -1,0 +1,447 @@
+#include "sema/ssa.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace otter::sema {
+
+namespace {
+
+/// Recursive CFG construction over structured statements.
+class CfgBuilder {
+ public:
+  explicit CfgBuilder(Cfg& cfg) : cfg_(cfg) {}
+
+  /// Emits `body` starting in block `cur`; returns the block where control
+  /// continues afterwards (may be a fresh unreachable block after break).
+  int emit(std::vector<StmtPtr>& body, int cur) {
+    for (StmtPtr& sp : body) {
+      Stmt& s = *sp;
+      switch (s.kind) {
+        case StmtKind::ExprStmt:
+        case StmtKind::Assign:
+        case StmtKind::Global:
+          cfg_.blocks[static_cast<size_t>(cur)].actions.push_back(
+              {Action::Kind::Statement, &s, nullptr});
+          break;
+        case StmtKind::If: {
+          int join = cfg_.add_block();
+          int test = cur;
+          bool has_else = false;
+          for (IfArm& arm : s.arms) {
+            if (arm.cond) {
+              cfg_.blocks[static_cast<size_t>(test)].actions.push_back(
+                  {Action::Kind::Condition, &s, arm.cond.get()});
+              int body_blk = cfg_.add_block();
+              cfg_.add_edge(test, body_blk);
+              int body_end = emit(arm.body, body_blk);
+              cfg_.add_edge(body_end, join);
+              int next_test = cfg_.add_block();
+              cfg_.add_edge(test, next_test);
+              test = next_test;
+            } else {
+              has_else = true;
+              int body_end = emit(arm.body, test);
+              cfg_.add_edge(body_end, join);
+            }
+          }
+          if (!has_else) cfg_.add_edge(test, join);
+          cur = join;
+          break;
+        }
+        case StmtKind::While: {
+          int header = cfg_.add_block();
+          cfg_.add_edge(cur, header);
+          cfg_.blocks[static_cast<size_t>(header)].actions.push_back(
+              {Action::Kind::Condition, &s, s.expr.get()});
+          int body_blk = cfg_.add_block();
+          int exit_blk = cfg_.add_block();
+          cfg_.add_edge(header, body_blk);
+          cfg_.add_edge(header, exit_blk);
+          loops_.push_back({exit_blk, header});
+          int body_end = emit(s.body, body_blk);
+          loops_.pop_back();
+          cfg_.add_edge(body_end, header);
+          cur = exit_blk;
+          break;
+        }
+        case StmtKind::For: {
+          // Range evaluated once in the preheader; loop variable defined at
+          // the header on every iteration.
+          cfg_.blocks[static_cast<size_t>(cur)].actions.push_back(
+              {Action::Kind::Condition, &s, s.expr.get()});
+          int header = cfg_.add_block();
+          cfg_.add_edge(cur, header);
+          cfg_.blocks[static_cast<size_t>(header)].actions.push_back(
+              {Action::Kind::LoopDef, &s, nullptr});
+          int body_blk = cfg_.add_block();
+          int exit_blk = cfg_.add_block();
+          cfg_.add_edge(header, body_blk);
+          cfg_.add_edge(header, exit_blk);
+          loops_.push_back({exit_blk, header});
+          int body_end = emit(s.body, body_blk);
+          loops_.pop_back();
+          cfg_.add_edge(body_end, header);
+          cur = exit_blk;
+          break;
+        }
+        case StmtKind::Break: {
+          if (!loops_.empty()) cfg_.add_edge(cur, loops_.back().break_to);
+          cur = cfg_.add_block();  // dead continuation
+          break;
+        }
+        case StmtKind::Continue: {
+          if (!loops_.empty()) cfg_.add_edge(cur, loops_.back().continue_to);
+          cur = cfg_.add_block();
+          break;
+        }
+        case StmtKind::Return: {
+          cfg_.add_edge(cur, cfg_.exit);
+          cur = cfg_.add_block();
+          break;
+        }
+      }
+    }
+    return cur;
+  }
+
+ private:
+  struct LoopCtx {
+    int break_to;
+    int continue_to;
+  };
+  Cfg& cfg_;
+  std::vector<LoopCtx> loops_;
+};
+
+std::vector<int> reverse_postorder(const Cfg& cfg) {
+  std::vector<int> order;
+  std::vector<char> seen(cfg.blocks.size(), 0);
+  // Iterative DFS with explicit post stack.
+  std::vector<std::pair<int, size_t>> stack;
+  stack.emplace_back(cfg.entry, 0);
+  seen[static_cast<size_t>(cfg.entry)] = 1;
+  while (!stack.empty()) {
+    auto& [b, i] = stack.back();
+    const auto& succs = cfg.blocks[static_cast<size_t>(b)].succs;
+    if (i < succs.size()) {
+      int s = succs[i++];
+      if (!seen[static_cast<size_t>(s)]) {
+        seen[static_cast<size_t>(s)] = 1;
+        stack.emplace_back(s, 0);
+      }
+    } else {
+      order.push_back(b);
+      stack.pop_back();
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace
+
+Cfg build_cfg(std::vector<StmtPtr>& body) {
+  Cfg cfg;
+  cfg.entry = cfg.add_block();
+  cfg.exit = cfg.add_block();
+  CfgBuilder builder(cfg);
+  int last = builder.emit(body, cfg.entry);
+  cfg.add_edge(last, cfg.exit);
+  return cfg;
+}
+
+std::vector<int> compute_idom(const Cfg& cfg) {
+  // Cooper–Harvey–Kennedy "engineered" dominator algorithm.
+  std::vector<int> rpo = reverse_postorder(cfg);
+  std::vector<int> rpo_index(cfg.blocks.size(), -1);
+  for (size_t i = 0; i < rpo.size(); ++i) {
+    rpo_index[static_cast<size_t>(rpo[i])] = static_cast<int>(i);
+  }
+  std::vector<int> idom(cfg.blocks.size(), -1);
+  idom[static_cast<size_t>(cfg.entry)] = cfg.entry;
+
+  auto intersect = [&](int a, int b) {
+    while (a != b) {
+      while (rpo_index[static_cast<size_t>(a)] > rpo_index[static_cast<size_t>(b)]) {
+        a = idom[static_cast<size_t>(a)];
+      }
+      while (rpo_index[static_cast<size_t>(b)] > rpo_index[static_cast<size_t>(a)]) {
+        b = idom[static_cast<size_t>(b)];
+      }
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int b : rpo) {
+      if (b == cfg.entry) continue;
+      int new_idom = -1;
+      for (int p : cfg.blocks[static_cast<size_t>(b)].preds) {
+        if (rpo_index[static_cast<size_t>(p)] < 0) continue;  // unreachable
+        if (idom[static_cast<size_t>(p)] == -1) continue;
+        new_idom = new_idom == -1 ? p : intersect(p, new_idom);
+      }
+      if (new_idom != -1 && idom[static_cast<size_t>(b)] != new_idom) {
+        idom[static_cast<size_t>(b)] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  idom[static_cast<size_t>(cfg.entry)] = -1;  // convention: entry has none
+  return idom;
+}
+
+std::vector<std::vector<int>> compute_df(const Cfg& cfg,
+                                         const std::vector<int>& idom) {
+  std::vector<std::vector<int>> df(cfg.blocks.size());
+  for (const BasicBlock& b : cfg.blocks) {
+    if (b.preds.size() < 2) continue;
+    for (int p : b.preds) {
+      int runner = p;
+      while (runner != -1 && runner != idom[static_cast<size_t>(b.id)]) {
+        auto& set = df[static_cast<size_t>(runner)];
+        if (std::find(set.begin(), set.end(), b.id) == set.end()) {
+          set.push_back(b.id);
+        }
+        runner = idom[static_cast<size_t>(runner)];
+      }
+    }
+  }
+  return df;
+}
+
+namespace {
+
+/// Collects per-block defined variable names, plus the set of all names.
+void collect_defs(const Cfg& cfg,
+                  std::vector<std::vector<std::string>>& defs_per_block,
+                  std::vector<std::string>& all_vars) {
+  std::unordered_set<std::string> seen;
+  for (const BasicBlock& b : cfg.blocks) {
+    for (const Action& a : b.actions) {
+      if (a.kind == Action::Kind::Statement &&
+          a.stmt->kind == StmtKind::Assign) {
+        for (const LValue& t : a.stmt->targets) {
+          defs_per_block[static_cast<size_t>(b.id)].push_back(t.name);
+          if (seen.insert(t.name).second) all_vars.push_back(t.name);
+        }
+      } else if (a.kind == Action::Kind::Statement &&
+                 a.stmt->kind == StmtKind::ExprStmt) {
+        defs_per_block[static_cast<size_t>(b.id)].push_back("ans");
+        if (seen.insert("ans").second) all_vars.push_back("ans");
+      } else if (a.kind == Action::Kind::LoopDef) {
+        defs_per_block[static_cast<size_t>(b.id)].push_back(a.stmt->loop_var);
+        if (seen.insert(a.stmt->loop_var).second) {
+          all_vars.push_back(a.stmt->loop_var);
+        }
+      }
+    }
+  }
+}
+
+class Renamer {
+ public:
+  Renamer(ScopeSsa& ssa, const std::vector<std::vector<int>>& dom_children)
+      : ssa_(ssa), dom_children_(dom_children) {}
+
+  void define_entry(const std::string& name) {
+    stacks_[name].push_back(new_version(name));
+  }
+
+  void run() { rename_block(ssa_.cfg.entry); }
+
+ private:
+  int new_version(const std::string& name) {
+    return ssa_.version_counts[name]++;
+  }
+
+  int current(const std::string& name) {
+    auto it = stacks_.find(name);
+    if (it == stacks_.end() || it->second.empty()) return -1;
+    return it->second.back();
+  }
+
+  /// A name participates in renaming if it is a known variable of this scope
+  /// (resolution marks it Variable; unresolved ASTs in tests fall back to
+  /// "was it ever assigned here").
+  bool is_var(const Expr& e) {
+    if (e.callee == CalleeKind::Variable) return true;
+    return e.callee == CalleeKind::Unresolved &&
+           ssa_.version_counts.contains(e.name);
+  }
+
+  void rename_uses(Expr& e) {
+    switch (e.kind) {
+      case ExprKind::Ident:
+        if (is_var(e)) e.ssa_version = current(e.name);
+        break;
+      case ExprKind::Call:
+        if (is_var(e)) e.ssa_version = current(e.name);
+        for (ExprPtr& a : e.args) rename_uses(*a);
+        break;
+      case ExprKind::Unary:
+        rename_uses(*e.lhs);
+        break;
+      case ExprKind::Binary:
+        rename_uses(*e.lhs);
+        rename_uses(*e.rhs);
+        break;
+      case ExprKind::Range:
+        rename_uses(*e.lhs);
+        if (e.step) rename_uses(*e.step);
+        rename_uses(*e.rhs);
+        break;
+      case ExprKind::Matrix:
+        for (auto& row : e.rows) {
+          for (ExprPtr& el : row) rename_uses(*el);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void rename_block(int b) {
+    size_t pushed_marker = trail_.size();
+
+    // 1. Phi outputs are defs at the top of the block.
+    for (Phi& phi : ssa_.phis[b]) {
+      phi.out = new_version(phi.var);
+      stacks_[phi.var].push_back(phi.out);
+      trail_.push_back(phi.var);
+    }
+
+    // 2. Actions in order.
+    for (Action& a : ssa_.cfg.blocks[static_cast<size_t>(b)].actions) {
+      if (a.kind == Action::Kind::Condition) {
+        rename_uses(*a.cond);
+        continue;
+      }
+      if (a.kind == Action::Kind::LoopDef) {
+        a.stmt->loop_var_version = new_version(a.stmt->loop_var);
+        stacks_[a.stmt->loop_var].push_back(a.stmt->loop_var_version);
+        trail_.push_back(a.stmt->loop_var);
+        continue;
+      }
+      Stmt& s = *a.stmt;
+      if (s.kind == StmtKind::ExprStmt) {
+        rename_uses(*s.expr);
+        int v = new_version("ans");
+        stacks_["ans"].push_back(v);
+        trail_.push_back("ans");
+      } else if (s.kind == StmtKind::Assign) {
+        rename_uses(*s.expr);
+        for (LValue& t : s.targets) {
+          for (ExprPtr& ix : t.indices) rename_uses(*ix);
+          if (!t.indices.empty()) t.ssa_use_version = current(t.name);
+        }
+        for (LValue& t : s.targets) {
+          t.ssa_version = new_version(t.name);
+          stacks_[t.name].push_back(t.ssa_version);
+          trail_.push_back(t.name);
+        }
+      }
+      // Global: no SSA effect (globals resolve dynamically).
+    }
+
+    // 3. Fill phi operands in successors.
+    for (int succ : ssa_.cfg.blocks[static_cast<size_t>(b)].succs) {
+      const auto& preds = ssa_.cfg.blocks[static_cast<size_t>(succ)].preds;
+      size_t pred_idx = 0;
+      for (; pred_idx < preds.size(); ++pred_idx) {
+        if (preds[pred_idx] == b) break;
+      }
+      for (Phi& phi : ssa_.phis[succ]) {
+        if (phi.ins.size() != preds.size()) phi.ins.resize(preds.size(), -1);
+        phi.ins[pred_idx] = current(phi.var);
+      }
+    }
+
+    // 4. Recurse over dominator-tree children.
+    for (int child : dom_children_[static_cast<size_t>(b)]) {
+      rename_block(child);
+    }
+
+    // 5. Pop this block's definitions.
+    while (trail_.size() > pushed_marker) {
+      stacks_[trail_.back()].pop_back();
+      trail_.pop_back();
+    }
+  }
+
+  ScopeSsa& ssa_;
+  const std::vector<std::vector<int>>& dom_children_;
+  std::unordered_map<std::string, std::vector<int>> stacks_;
+  std::vector<std::string> trail_;
+};
+
+}  // namespace
+
+ScopeSsa build_ssa(std::vector<StmtPtr>& body,
+                   const std::vector<std::string>& entry_defs) {
+  ScopeSsa ssa;
+  ssa.cfg = build_cfg(body);
+  ssa.idom = compute_idom(ssa.cfg);
+  auto df = compute_df(ssa.cfg, ssa.idom);
+
+  std::vector<std::vector<std::string>> defs_per_block(ssa.cfg.blocks.size());
+  std::vector<std::string> all_vars;
+  collect_defs(ssa.cfg, defs_per_block, all_vars);
+  for (const std::string& p : entry_defs) {
+    defs_per_block[static_cast<size_t>(ssa.cfg.entry)].push_back(p);
+    if (std::find(all_vars.begin(), all_vars.end(), p) == all_vars.end()) {
+      all_vars.push_back(p);
+    }
+  }
+
+  // Iterated dominance frontier phi placement (one phi per var per block).
+  for (const std::string& var : all_vars) {
+    std::vector<int> work;
+    std::unordered_set<int> has_phi;
+    std::unordered_set<int> ever_on_work;
+    for (const BasicBlock& b : ssa.cfg.blocks) {
+      const auto& defs = defs_per_block[static_cast<size_t>(b.id)];
+      if (std::find(defs.begin(), defs.end(), var) != defs.end()) {
+        work.push_back(b.id);
+        ever_on_work.insert(b.id);
+      }
+    }
+    while (!work.empty()) {
+      int b = work.back();
+      work.pop_back();
+      for (int d : df[static_cast<size_t>(b)]) {
+        if (has_phi.insert(d).second) {
+          Phi phi;
+          phi.var = var;
+          phi.ins.assign(ssa.cfg.blocks[static_cast<size_t>(d)].preds.size(),
+                         -1);
+          ssa.phis[d].push_back(std::move(phi));
+          if (ever_on_work.insert(d).second) work.push_back(d);
+        }
+      }
+    }
+  }
+
+  // Dominator-tree children lists.
+  std::vector<std::vector<int>> dom_children(ssa.cfg.blocks.size());
+  for (const BasicBlock& b : ssa.cfg.blocks) {
+    int d = ssa.idom[static_cast<size_t>(b.id)];
+    if (d >= 0 && b.id != ssa.cfg.entry) {
+      dom_children[static_cast<size_t>(d)].push_back(b.id);
+    }
+  }
+
+  // Seed version_counts so the renamer knows the scope's variable set.
+  for (const std::string& var : all_vars) ssa.version_counts[var] = 0;
+
+  Renamer renamer(ssa, dom_children);
+  for (const std::string& p : entry_defs) renamer.define_entry(p);
+  renamer.run();
+  return ssa;
+}
+
+}  // namespace otter::sema

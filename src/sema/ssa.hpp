@@ -1,0 +1,90 @@
+// Static single assignment construction — the paper's third pass foundation.
+//
+// "MATLAB, designed as an interpreted language, allows the attributes of a
+//  variable to change during a program's execution. We solve this problem by
+//  transforming the program into static single assignment form, which
+//  ensures each variable is only assigned a value once [Cytron et al.]."
+//
+// We build a CFG over the structured AST, compute dominators
+// (Cooper–Harvey–Kennedy), place pruned phis via iterated dominance
+// frontiers, and rename. Versions are recorded in the AST (Expr::ssa_version
+// for uses, LValue::ssa_version for defs, Stmt::loop_var_version) and phi
+// nodes are kept per basic block in the returned ScopeSsa.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "frontend/ast.hpp"
+
+namespace otter::sema {
+
+/// One action inside a basic block, in execution order.
+struct Action {
+  enum class Kind {
+    Statement,  // a simple statement (Assign / ExprStmt / Global)
+    Condition,  // evaluation of a branch/loop condition expression
+    LoopDef,    // the for-loop variable definition at the loop header
+  };
+  Kind kind = Kind::Statement;
+  Stmt* stmt = nullptr;
+  Expr* cond = nullptr;  // Kind::Condition
+};
+
+struct BasicBlock {
+  int id = 0;
+  std::vector<Action> actions;
+  std::vector<int> succs;
+  std::vector<int> preds;
+};
+
+struct Cfg {
+  std::vector<BasicBlock> blocks;
+  int entry = 0;
+  int exit = 0;
+
+  int add_block() {
+    int id = static_cast<int>(blocks.size());
+    blocks.push_back(BasicBlock{id, {}, {}, {}});
+    return id;
+  }
+  void add_edge(int from, int to) {
+    blocks[static_cast<size_t>(from)].succs.push_back(to);
+    blocks[static_cast<size_t>(to)].preds.push_back(from);
+  }
+};
+
+/// A phi node: var.out = phi(var.ins[0] from preds[0], …).
+struct Phi {
+  std::string var;
+  int out = -1;
+  std::vector<int> ins;  // parallel to the block's preds; -1 = undefined path
+};
+
+/// SSA form of one scope (the script, or one function body).
+struct ScopeSsa {
+  Cfg cfg;
+  std::unordered_map<int, std::vector<Phi>> phis;  // block id -> phis
+  /// Number of SSA versions per variable (version ids are 0..count-1).
+  std::unordered_map<std::string, int> version_counts;
+  /// Immediate dominator per block (-1 for entry).
+  std::vector<int> idom;
+};
+
+/// Builds the CFG for a statement list (entry params pre-defined by caller).
+Cfg build_cfg(std::vector<StmtPtr>& body);
+
+/// Computes immediate dominators (Cooper–Harvey–Kennedy).
+std::vector<int> compute_idom(const Cfg& cfg);
+
+/// Dominance frontiers from idom.
+std::vector<std::vector<int>> compute_df(const Cfg& cfg,
+                                         const std::vector<int>& idom);
+
+/// Full SSA construction for a scope. `entry_defs` are names defined on
+/// entry (function parameters); they receive version 0 at the entry block.
+ScopeSsa build_ssa(std::vector<StmtPtr>& body,
+                   const std::vector<std::string>& entry_defs = {});
+
+}  // namespace otter::sema

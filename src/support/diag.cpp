@@ -1,0 +1,53 @@
+#include "support/diag.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace otter {
+
+int SourceManager::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return -1;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return static_cast<int>(add_buffer(path, ss.str()));
+}
+
+namespace {
+const char* severity_name(DiagSeverity s) {
+  switch (s) {
+    case DiagSeverity::Note: return "note";
+    case DiagSeverity::Warning: return "warning";
+    case DiagSeverity::Error: return "error";
+  }
+  return "?";
+}
+}  // namespace
+
+void DiagEngine::print(std::ostream& os) const {
+  for (const Diagnostic& d : diags_) {
+    if (sm_ != nullptr && d.loc.valid() && d.loc.file < sm_->buffer_count()) {
+      const SourceBuffer& buf = sm_->buffer(d.loc.file);
+      os << buf.name() << ':' << d.loc.line << ':' << d.loc.col << ": ";
+      os << severity_name(d.severity) << ": " << d.message << '\n';
+      std::string_view line = buf.line(d.loc.line);
+      if (!line.empty()) {
+        os << "  " << line << '\n';
+        os << "  ";
+        for (uint32_t i = 1; i < d.loc.col; ++i) os << ' ';
+        os << "^\n";
+      }
+    } else {
+      os << severity_name(d.severity) << ": " << d.message << '\n';
+    }
+  }
+}
+
+std::string DiagEngine::to_string() const {
+  std::ostringstream ss;
+  print(ss);
+  return ss.str();
+}
+
+}  // namespace otter

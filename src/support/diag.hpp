@@ -1,0 +1,60 @@
+// Diagnostics engine: collects errors/warnings/notes with source locations.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "support/source.hpp"
+
+namespace otter {
+
+enum class DiagSeverity { Note, Warning, Error };
+
+struct Diagnostic {
+  DiagSeverity severity = DiagSeverity::Error;
+  SourceLoc loc;
+  std::string message;
+};
+
+/// Accumulates diagnostics during a compilation. Passes report through this
+/// instead of throwing so that the driver can show every problem at once.
+class DiagEngine {
+ public:
+  explicit DiagEngine(const SourceManager* sm = nullptr) : sm_(sm) {}
+
+  void attach(const SourceManager* sm) { sm_ = sm; }
+
+  void error(SourceLoc loc, std::string msg) {
+    diags_.push_back({DiagSeverity::Error, loc, std::move(msg)});
+    ++error_count_;
+  }
+  void warning(SourceLoc loc, std::string msg) {
+    diags_.push_back({DiagSeverity::Warning, loc, std::move(msg)});
+  }
+  void note(SourceLoc loc, std::string msg) {
+    diags_.push_back({DiagSeverity::Note, loc, std::move(msg)});
+  }
+
+  [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
+  [[nodiscard]] size_t error_count() const { return error_count_; }
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diags_;
+  }
+
+  /// Renders "file:line:col: severity: message" plus a source snippet.
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+  void clear() {
+    diags_.clear();
+    error_count_ = 0;
+  }
+
+ private:
+  const SourceManager* sm_;
+  std::vector<Diagnostic> diags_;
+  size_t error_count_ = 0;
+};
+
+}  // namespace otter

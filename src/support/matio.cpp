@@ -1,0 +1,76 @@
+#include "support/matio.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace otter {
+
+std::optional<MatFile> read_mat_file(const std::string& path,
+                                     std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = "cannot open '" + path + "'";
+    return std::nullopt;
+  }
+  MatFile mf;
+  std::string line;
+  while (std::getline(in, line)) {
+    // Skip blank lines and '%' comments.
+    size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '%') continue;
+    std::istringstream ls(line);
+    std::vector<double> row;
+    double v;
+    while (ls >> v) row.push_back(v);
+    if (!ls.eof()) {
+      if (error) {
+        *error = "malformed number in '" + path + "' line " +
+                 std::to_string(mf.rows + 1);
+      }
+      return std::nullopt;
+    }
+    if (row.empty()) continue;
+    if (mf.rows == 0) {
+      mf.cols = row.size();
+    } else if (row.size() != mf.cols) {
+      if (error) {
+        *error = "ragged rows in '" + path + "' (line " +
+                 std::to_string(mf.rows + 1) + " has " +
+                 std::to_string(row.size()) + " values, expected " +
+                 std::to_string(mf.cols) + ")";
+      }
+      return std::nullopt;
+    }
+    for (double x : row) {
+      if (x != std::floor(x)) mf.all_integer = false;
+    }
+    mf.data.insert(mf.data.end(), row.begin(), row.end());
+    ++mf.rows;
+  }
+  if (mf.rows == 0) {
+    if (error) *error = "'" + path + "' contains no data";
+    return std::nullopt;
+  }
+  return mf;
+}
+
+bool write_mat_file(const std::string& path, size_t rows, size_t cols,
+                    const std::vector<double>& data) {
+  if (data.size() != rows * cols) return false;
+  std::ofstream out(path);
+  if (!out) return false;
+  char buf[64];
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      if (c) out << ' ';
+      std::snprintf(buf, sizeof buf, "%.17g", data[r * cols + c]);
+      out << buf;
+    }
+    out << '\n';
+  }
+  return out.good();
+}
+
+}  // namespace otter

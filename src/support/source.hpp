@@ -1,0 +1,79 @@
+// Source buffers and source locations for the Otter MATLAB compiler.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace otter {
+
+/// A location inside a source buffer. Lines and columns are 1-based,
+/// matching what editors and the MATLAB interpreter report.
+struct SourceLoc {
+  uint32_t file = 0;  ///< index into SourceManager's buffer table
+  uint32_t line = 0;
+  uint32_t col = 0;
+
+  [[nodiscard]] bool valid() const { return line != 0; }
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+/// One loaded source buffer (a script or a user M-file).
+class SourceBuffer {
+ public:
+  SourceBuffer(std::string name, std::string text)
+      : name_(std::move(name)), text_(std::move(text)) {
+    line_starts_.push_back(0);
+    for (size_t i = 0; i < text_.size(); ++i) {
+      if (text_[i] == '\n') line_starts_.push_back(i + 1);
+    }
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::string_view text() const { return text_; }
+
+  /// Text of the (1-based) line, without the trailing newline.
+  [[nodiscard]] std::string_view line(uint32_t line_no) const {
+    if (line_no == 0 || line_no > line_starts_.size()) return {};
+    size_t begin = line_starts_[line_no - 1];
+    size_t end = line_no < line_starts_.size() ? line_starts_[line_no] : text_.size();
+    while (end > begin && (text_[end - 1] == '\n' || text_[end - 1] == '\r')) --end;
+    return std::string_view(text_).substr(begin, end - begin);
+  }
+
+  [[nodiscard]] uint32_t line_count() const {
+    return static_cast<uint32_t>(line_starts_.size());
+  }
+
+ private:
+  std::string name_;
+  std::string text_;
+  std::vector<size_t> line_starts_;
+};
+
+/// Owns every source buffer in a compilation (initial script + all user
+/// M-files pulled in by identifier resolution).
+class SourceManager {
+ public:
+  /// Registers a buffer and returns its file id.
+  uint32_t add_buffer(std::string name, std::string text) {
+    buffers_.push_back(
+        std::make_unique<SourceBuffer>(std::move(name), std::move(text)));
+    return static_cast<uint32_t>(buffers_.size() - 1);
+  }
+
+  /// Loads a file from disk; returns the file id or -1 on failure.
+  int load_file(const std::string& path);
+
+  [[nodiscard]] const SourceBuffer& buffer(uint32_t id) const {
+    return *buffers_.at(id);
+  }
+  [[nodiscard]] size_t buffer_count() const { return buffers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<SourceBuffer>> buffers_;
+};
+
+}  // namespace otter

@@ -1,0 +1,179 @@
+#include "frontend/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace otter {
+namespace {
+
+std::vector<Token> lex(const std::string& text, DiagEngine* diags_out = nullptr) {
+  static SourceManager sm;  // buffers must outlive returned tokens' views
+  static DiagEngine diags(&sm);
+  diags.clear();
+  uint32_t file = sm.add_buffer("<test>", text);
+  Lexer lexer(sm, file, diags);
+  auto toks = lexer.lex_all();
+  if (diags_out) *diags_out = diags;
+  EXPECT_FALSE(diags.has_errors()) << diags.to_string();
+  return toks;
+}
+
+std::vector<Tok> kinds(const std::vector<Token>& toks) {
+  std::vector<Tok> out;
+  for (const Token& t : toks) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  auto toks = lex("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, Tok::Eof);
+}
+
+TEST(Lexer, IntegerLiteral) {
+  auto toks = lex("42");
+  ASSERT_GE(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, Tok::IntLit);
+  EXPECT_DOUBLE_EQ(toks[0].number, 42.0);
+}
+
+TEST(Lexer, RealLiteralWithDecimalPoint) {
+  auto toks = lex("3.25");
+  EXPECT_EQ(toks[0].kind, Tok::RealLit);
+  EXPECT_DOUBLE_EQ(toks[0].number, 3.25);
+}
+
+TEST(Lexer, RealLiteralLeadingDot) {
+  auto toks = lex(".5");
+  EXPECT_EQ(toks[0].kind, Tok::RealLit);
+  EXPECT_DOUBLE_EQ(toks[0].number, 0.5);
+}
+
+TEST(Lexer, ScientificNotation) {
+  auto toks = lex("1e3");
+  EXPECT_EQ(toks[0].kind, Tok::RealLit);
+  EXPECT_DOUBLE_EQ(toks[0].number, 1000.0);
+  toks = lex("2.5e-2");
+  EXPECT_DOUBLE_EQ(toks[0].number, 0.025);
+}
+
+TEST(Lexer, ImaginaryLiteral) {
+  auto toks = lex("3i");
+  EXPECT_EQ(toks[0].kind, Tok::ImagLit);
+  EXPECT_DOUBLE_EQ(toks[0].number, 3.0);
+  toks = lex("2.5j");
+  EXPECT_EQ(toks[0].kind, Tok::ImagLit);
+  EXPECT_DOUBLE_EQ(toks[0].number, 2.5);
+}
+
+TEST(Lexer, IdentifierFollowedByNumberSuffix) {
+  // 3in is "3" then identifier "in", not an imaginary literal.
+  auto toks = lex("3in");
+  EXPECT_EQ(toks[0].kind, Tok::IntLit);
+  EXPECT_EQ(toks[1].kind, Tok::Ident);
+  EXPECT_EQ(toks[1].text, "in");
+}
+
+TEST(Lexer, Keywords) {
+  auto toks = lex("if elseif else end while for break continue function return");
+  std::vector<Tok> expect = {Tok::KwIf, Tok::KwElseif, Tok::KwElse, Tok::KwEnd,
+                             Tok::KwWhile, Tok::KwFor, Tok::KwBreak,
+                             Tok::KwContinue, Tok::KwFunction, Tok::KwReturn,
+                             Tok::Eof};
+  EXPECT_EQ(kinds(toks), expect);
+}
+
+TEST(Lexer, OperatorsTwoChar) {
+  auto toks = lex("== ~= <= >= && || .* ./ .^ .'");
+  std::vector<Tok> expect = {Tok::Eq, Tok::Ne, Tok::Le, Tok::Ge, Tok::AmpAmp,
+                             Tok::PipePipe, Tok::DotStar, Tok::DotSlash,
+                             Tok::DotCaret, Tok::DotTranspose, Tok::Eof};
+  EXPECT_EQ(kinds(toks), expect);
+}
+
+TEST(Lexer, QuoteAfterIdentIsTranspose) {
+  auto toks = lex("a'");
+  EXPECT_EQ(toks[0].kind, Tok::Ident);
+  EXPECT_EQ(toks[1].kind, Tok::Transpose);
+}
+
+TEST(Lexer, QuoteAfterParenIsTranspose) {
+  auto toks = lex("(a+b)'");
+  EXPECT_EQ(toks[5].kind, Tok::Transpose);
+}
+
+TEST(Lexer, QuoteAtStatementStartIsString) {
+  auto toks = lex("'hello'");
+  EXPECT_EQ(toks[0].kind, Tok::StringLit);
+  EXPECT_EQ(toks[0].str, "hello");
+}
+
+TEST(Lexer, QuoteAfterCommaIsString) {
+  auto toks = lex("disp('x'), disp('y')");
+  EXPECT_EQ(toks[2].kind, Tok::StringLit);
+}
+
+TEST(Lexer, StringEscapedQuote) {
+  auto toks = lex("'it''s'");
+  EXPECT_EQ(toks[0].kind, Tok::StringLit);
+  EXPECT_EQ(toks[0].str, "it's");
+}
+
+TEST(Lexer, CommentSkipsToEndOfLine) {
+  auto toks = lex("a % this is a comment\nb");
+  EXPECT_EQ(toks[0].kind, Tok::Ident);
+  EXPECT_EQ(toks[1].kind, Tok::Newline);
+  EXPECT_EQ(toks[2].kind, Tok::Ident);
+  EXPECT_EQ(toks[2].text, "b");
+}
+
+TEST(Lexer, ContinuationJoinsLines) {
+  auto toks = lex("a + ...\n  b");
+  std::vector<Tok> expect = {Tok::Ident, Tok::Plus, Tok::Ident, Tok::Eof};
+  EXPECT_EQ(kinds(toks), expect);
+}
+
+TEST(Lexer, NewlinesCollapsed) {
+  auto toks = lex("a\n\n\nb");
+  std::vector<Tok> expect = {Tok::Ident, Tok::Newline, Tok::Ident, Tok::Eof};
+  EXPECT_EQ(kinds(toks), expect);
+}
+
+TEST(Lexer, NumberDotStarIsElementwiseOp) {
+  // "3.*x" must lex as 3 .* x, not 3. * x.
+  auto toks = lex("3.*x");
+  std::vector<Tok> expect = {Tok::IntLit, Tok::DotStar, Tok::Ident, Tok::Eof};
+  EXPECT_EQ(kinds(toks), expect);
+}
+
+TEST(Lexer, LocationsTrackLinesAndColumns) {
+  auto toks = lex("a\nbb + c");
+  EXPECT_EQ(toks[0].loc.line, 1u);
+  EXPECT_EQ(toks[0].loc.col, 1u);
+  EXPECT_EQ(toks[2].loc.line, 2u);  // bb
+  EXPECT_EQ(toks[2].loc.col, 1u);
+  EXPECT_EQ(toks[3].loc.line, 2u);  // +
+  EXPECT_EQ(toks[3].loc.col, 4u);
+}
+
+TEST(Lexer, UnterminatedStringReportsError) {
+  SourceManager sm;
+  DiagEngine diags(&sm);
+  uint32_t file = sm.add_buffer("<t>", "'abc");
+  Lexer lexer(sm, file, diags);
+  lexer.lex_all();
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Lexer, TransposeChainAfterTranspose) {
+  auto toks = lex("a''");
+  EXPECT_EQ(toks[1].kind, Tok::Transpose);
+  EXPECT_EQ(toks[2].kind, Tok::Transpose);
+}
+
+TEST(Lexer, EndKeywordThenTranspose) {
+  auto toks = lex("a(end)'");
+  EXPECT_EQ(toks[4].kind, Tok::Transpose);
+}
+
+}  // namespace
+}  // namespace otter

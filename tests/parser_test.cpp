@@ -1,0 +1,205 @@
+#include "frontend/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace otter {
+namespace {
+
+/// Parses a script and returns the dump, failing the test on parse errors.
+std::string parse_dump(const std::string& text) {
+  SourceManager sm;
+  DiagEngine diags(&sm);
+  ParsedFile f = parse_string(text, sm, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.to_string();
+  Program p;
+  p.script = std::move(f.script);
+  for (auto& fn : f.functions) p.functions.emplace(fn->name, std::move(fn));
+  return dump_program(p);
+}
+
+bool parse_fails(const std::string& text) {
+  SourceManager sm;
+  DiagEngine diags(&sm);
+  parse_string(text, sm, diags);
+  return diags.has_errors();
+}
+
+TEST(Parser, SimpleAssignment) {
+  EXPECT_EQ(parse_dump("x = 1;"), "(script\n  (assign x = 1)\n)\n");
+}
+
+TEST(Parser, DisplayFlagTracksSemicolon) {
+  EXPECT_NE(parse_dump("x = 1").find("(assign x = 1)"), std::string::npos);
+}
+
+TEST(Parser, PrecedenceMulOverAdd) {
+  EXPECT_NE(parse_dump("y = a + b * c;").find("(+ a (* b c))"),
+            std::string::npos);
+}
+
+TEST(Parser, PrecedencePowerOverUnaryMinus) {
+  // -a^2 parses as -(a^2) in MATLAB.
+  EXPECT_NE(parse_dump("y = -a^2;").find("(neg (^ a 2))"), std::string::npos);
+}
+
+TEST(Parser, PowerWithNegativeExponent) {
+  EXPECT_NE(parse_dump("y = 2^-3;").find("(^ 2 (neg 3))"), std::string::npos);
+}
+
+TEST(Parser, ComparisonBindsLooserThanRange) {
+  EXPECT_NE(parse_dump("y = 1:3 < x;").find("(< (range 1 3) x)"),
+            std::string::npos);
+}
+
+TEST(Parser, RangeWithStep) {
+  EXPECT_NE(parse_dump("y = 1:2:9;").find("(range 1 2 9)"), std::string::npos);
+}
+
+TEST(Parser, TransposePostfix) {
+  EXPECT_NE(parse_dump("y = a' * b;").find("(* (ctranspose a) b)"),
+            std::string::npos);
+}
+
+TEST(Parser, DotTransposeIsNonConjugating) {
+  EXPECT_NE(parse_dump("y = a.';").find("(transpose a)"), std::string::npos);
+}
+
+TEST(Parser, CallWithArguments) {
+  EXPECT_NE(parse_dump("y = f(a, b);").find("(call f a b)"), std::string::npos);
+}
+
+TEST(Parser, IndexWithColon) {
+  EXPECT_NE(parse_dump("y = a(i, :);").find("(call a i :)"), std::string::npos);
+}
+
+TEST(Parser, IndexWithEnd) {
+  EXPECT_NE(parse_dump("y = a(2:end);").find("(call a (range 2 end))"),
+            std::string::npos);
+}
+
+TEST(Parser, IndexedAssignment) {
+  EXPECT_NE(parse_dump("a(i, j) = 3;").find("(assign a(i, j) = 3)"),
+            std::string::npos);
+}
+
+TEST(Parser, MultiAssignment) {
+  EXPECT_NE(parse_dump("[r, c] = size(a);").find("(assign r c = (call size a))"),
+            std::string::npos);
+}
+
+TEST(Parser, MatrixLiteralRowsBySemicolon) {
+  EXPECT_NE(parse_dump("m = [1, 2; 3, 4];").find("(matrix [1 2] [3 4])"),
+            std::string::npos);
+}
+
+TEST(Parser, MatrixLiteralRowsByNewline) {
+  EXPECT_NE(parse_dump("m = [1, 2\n3, 4];").find("(matrix [1 2] [3 4])"),
+            std::string::npos);
+}
+
+TEST(Parser, MatrixLiteralWhitespaceDelimiterRejected) {
+  // The paper: white-space-delimited lists are not supported.
+  EXPECT_TRUE(parse_fails("m = [1 2];"));
+}
+
+TEST(Parser, EmptyMatrixLiteral) {
+  EXPECT_NE(parse_dump("m = [];").find("(matrix)"), std::string::npos);
+}
+
+TEST(Parser, IfElseifElse) {
+  std::string d = parse_dump(
+      "if x > 0\n  y = 1;\nelseif x < 0\n  y = 2;\nelse\n  y = 3;\nend");
+  EXPECT_NE(d.find("(cond (> x 0))"), std::string::npos);
+  EXPECT_NE(d.find("(cond (< x 0))"), std::string::npos);
+  EXPECT_NE(d.find("(else)"), std::string::npos);
+}
+
+TEST(Parser, WhileLoop) {
+  std::string d = parse_dump("while k <= n\n  k = k + 1;\nend");
+  EXPECT_NE(d.find("(while (<= k n)"), std::string::npos);
+}
+
+TEST(Parser, ForLoop) {
+  std::string d = parse_dump("for i = 1:n\n  s = s + i;\nend");
+  EXPECT_NE(d.find("(for i = (range 1 n)"), std::string::npos);
+}
+
+TEST(Parser, NestedLoopsAndBreakContinue) {
+  std::string d = parse_dump(
+      "for i = 1:3\n  for j = 1:3\n    if j == 2\n      continue\n    end\n"
+      "    if i == 3\n      break\n    end\n  end\nend");
+  EXPECT_NE(d.find("(break)"), std::string::npos);
+  EXPECT_NE(d.find("(continue)"), std::string::npos);
+}
+
+TEST(Parser, FunctionWithOneOutput) {
+  std::string d = parse_dump("function y = f(x)\ny = x + 1;\n");
+  EXPECT_NE(d.find("(function f (in x) (out y)"), std::string::npos);
+}
+
+TEST(Parser, FunctionWithMultipleOutputs) {
+  std::string d = parse_dump("function [a, b] = f(x, y)\na = x;\nb = y;\n");
+  EXPECT_NE(d.find("(function f (in x y) (out a b)"), std::string::npos);
+}
+
+TEST(Parser, FunctionWithNoOutputs) {
+  std::string d = parse_dump("function report(x)\ndisp(x);\n");
+  EXPECT_NE(d.find("(function report (in x) (out)"), std::string::npos);
+}
+
+TEST(Parser, MultipleSubfunctions) {
+  std::string d = parse_dump(
+      "function y = f(x)\ny = g(x);\n\nfunction y = g(x)\ny = x * 2;\n");
+  EXPECT_NE(d.find("(function f"), std::string::npos);
+  EXPECT_NE(d.find("(function g"), std::string::npos);
+}
+
+TEST(Parser, CommaSeparatedStatements) {
+  std::string d = parse_dump("a = 1, b = 2;");
+  EXPECT_NE(d.find("(assign a = 1)"), std::string::npos);
+  EXPECT_NE(d.find("(assign b = 2)"), std::string::npos);
+}
+
+TEST(Parser, LogicalOperatorPrecedence) {
+  // && binds tighter than ||.
+  EXPECT_NE(parse_dump("y = a || b && c;").find("(|| a (&& b c))"),
+            std::string::npos);
+}
+
+TEST(Parser, ElementwiseOps) {
+  EXPECT_NE(parse_dump("y = a .* b ./ c;").find("(./ (.* a b) c)"),
+            std::string::npos);
+}
+
+TEST(Parser, ParenthesesOverridePrecedence) {
+  EXPECT_NE(parse_dump("y = (a + b) * c;").find("(* (+ a b) c)"),
+            std::string::npos);
+}
+
+TEST(Parser, StringArgument) {
+  EXPECT_NE(parse_dump("disp('hello');").find("(call disp 'hello')"),
+            std::string::npos);
+}
+
+TEST(Parser, GlobalDeclaration) {
+  EXPECT_NE(parse_dump("global a, b;").find("(global a"), std::string::npos);
+}
+
+TEST(Parser, InvalidAssignTargetFails) {
+  EXPECT_TRUE(parse_fails("1 = x;"));
+}
+
+TEST(Parser, MissingEndFails) {
+  EXPECT_TRUE(parse_fails("if x\ny = 1;"));
+}
+
+TEST(Parser, ChainedIndexingRejected) {
+  EXPECT_TRUE(parse_fails("y = f(1)(2);"));
+}
+
+TEST(Parser, EndOutsideIndexFails) {
+  EXPECT_TRUE(parse_fails("y = end;"));
+}
+
+}  // namespace
+}  // namespace otter

@@ -1,0 +1,166 @@
+// otterc — command-line driver for the Otter MATLAB compiler.
+//
+// Usage:
+//   otterc SCRIPT.m [options]
+//
+// Options:
+//   --emit=ast|lir|c       print the selected representation and exit
+//   --run=interp|direct|cc execute via the interpreter, the direct SPMD
+//                          executor (default), or generated C compiled by
+//                          the host toolchain
+//   --np=N                 number of ranks (default 1)
+//   --machine=NAME         meiko_cs2 | sparc20_cluster | enterprise_smp |
+//                          ideal (default ideal)
+//   --dist=block|cyclic    data-distribution strategy (default block)
+//   --no-peephole          disable the peephole pass (paper pass 6)
+//   --seed=N               seed for rand (default 1)
+//   --times                print per-rank virtual times after the run
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "codegen/ccrun.hpp"
+#include "codegen/emit.hpp"
+#include "driver/pipeline.hpp"
+
+namespace {
+
+struct Options {
+  std::string script_path;
+  std::string emit;
+  std::string run = "direct";
+  int np = 1;
+  std::string machine = "ideal";
+  otter::rt::Dist dist = otter::rt::Dist::RowBlock;
+  bool peephole = true;
+  bool times = false;
+  uint64_t seed = 1;
+};
+
+int usage() {
+  std::cerr <<
+      "usage: otterc SCRIPT.m [--emit=ast|lir|c] [--run=interp|direct|cc]\n"
+      "              [--np=N] [--machine=NAME] [--dist=block|cyclic]\n"
+      "              [--no-peephole] [--seed=N] [--times]\n";
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Options& o) {
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto value = [&](const char* prefix) -> std::optional<std::string> {
+      size_t n = std::strlen(prefix);
+      if (a.rfind(prefix, 0) == 0) return a.substr(n);
+      return std::nullopt;
+    };
+    if (auto v = value("--emit=")) o.emit = *v;
+    else if (auto v = value("--run=")) o.run = *v;
+    else if (auto v = value("--np=")) o.np = std::stoi(*v);
+    else if (auto v = value("--machine=")) o.machine = *v;
+    else if (auto v = value("--seed=")) o.seed = std::stoull(*v);
+    else if (auto v = value("--dist=")) {
+      o.dist = (*v == "cyclic") ? otter::rt::Dist::Cyclic
+                                : otter::rt::Dist::RowBlock;
+    } else if (a == "--no-peephole") o.peephole = false;
+    else if (a == "--times") o.times = true;
+    else if (!a.empty() && a[0] == '-') return false;
+    else if (o.script_path.empty()) o.script_path = a;
+    else return false;
+  }
+  return !o.script_path.empty();
+}
+
+std::string dirname_of(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return usage();
+
+  std::ifstream in(opt.script_path);
+  if (!in) {
+    std::cerr << "otterc: cannot open " << opt.script_path << '\n';
+    return 1;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string source = ss.str();
+
+  auto loader = otter::driver::dir_loader(dirname_of(opt.script_path));
+
+  try {
+    if (opt.run == "interp" && opt.emit.empty()) {
+      auto run = otter::driver::run_interpreter(source, loader, opt.seed);
+      std::cout << run.output;
+      if (opt.times) {
+        std::cerr << "interpreter cpu seconds: " << run.cpu_seconds << '\n';
+      }
+      return 0;
+    }
+
+    otter::lower::LowerOptions lopts;
+    lopts.peephole = opt.peephole;
+    auto compiled = otter::driver::compile_script(source, loader, lopts);
+    if (!compiled->ok) {
+      compiled->diags.print(std::cerr);
+      return 1;
+    }
+
+    if (opt.emit == "ast") {
+      std::cout << dump_program(compiled->prog);
+      return 0;
+    }
+    if (opt.emit == "lir") {
+      std::cout << otter::lower::dump_lir(compiled->lir);
+      return 0;
+    }
+    if (opt.emit == "c") {
+      std::cout << otter::codegen::emit_cpp(compiled->lir);
+      return 0;
+    }
+    if (!opt.emit.empty()) return usage();
+
+    otter::mpi::MachineProfile profile =
+        otter::mpi::profile_by_name(opt.machine);
+    otter::driver::ExecOptions eopts;
+    eopts.dist = opt.dist;
+    eopts.rand_seed = opt.seed;
+
+    if (opt.run == "cc") {
+      std::string error;
+      auto program = otter::codegen::CompiledProgram::build(compiled->lir, &error);
+      if (!program) {
+        std::cerr << "otterc: " << error << '\n';
+        return 1;
+      }
+      std::ostringstream out;
+      auto times = otter::mpi::run_spmd(
+          profile, opt.np,
+          [&](otter::mpi::Comm& comm) { program->run(comm, out, eopts); });
+      std::cout << out.str();
+      if (opt.times) {
+        for (size_t r = 0; r < times.vtimes.size(); ++r) {
+          std::cerr << "rank " << r << " vtime " << times.vtimes[r] << "s\n";
+        }
+      }
+      return 0;
+    }
+
+    auto run = otter::driver::run_parallel(compiled->lir, profile, opt.np, eopts);
+    std::cout << run.output;
+    if (opt.times) {
+      for (size_t r = 0; r < run.times.vtimes.size(); ++r) {
+        std::cerr << "rank " << r << " vtime " << run.times.vtimes[r] << "s\n";
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "otterc: " << e.what() << '\n';
+    return 1;
+  }
+}
