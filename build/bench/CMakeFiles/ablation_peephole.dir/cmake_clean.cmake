@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_peephole.dir/ablation_peephole.cpp.o"
+  "CMakeFiles/ablation_peephole.dir/ablation_peephole.cpp.o.d"
+  "ablation_peephole"
+  "ablation_peephole.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_peephole.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_cg.dir/fig3_cg.cpp.o"
+  "CMakeFiles/fig3_cg.dir/fig3_cg.cpp.o.d"
+  "fig3_cg"
+  "fig3_cg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

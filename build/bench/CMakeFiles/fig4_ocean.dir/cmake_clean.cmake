@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_ocean.dir/fig4_ocean.cpp.o"
+  "CMakeFiles/fig4_ocean.dir/fig4_ocean.cpp.o.d"
+  "fig4_ocean"
+  "fig4_ocean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ocean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_nbody.dir/fig5_nbody.cpp.o"
+  "CMakeFiles/fig5_nbody.dir/fig5_nbody.cpp.o.d"
+  "fig5_nbody"
+  "fig5_nbody.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_nbody.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

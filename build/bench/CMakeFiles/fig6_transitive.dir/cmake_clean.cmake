@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_transitive.dir/fig6_transitive.cpp.o"
+  "CMakeFiles/fig6_transitive.dir/fig6_transitive.cpp.o.d"
+  "fig6_transitive"
+  "fig6_transitive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_transitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

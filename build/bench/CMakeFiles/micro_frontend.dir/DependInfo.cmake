@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_frontend.cpp" "bench/CMakeFiles/micro_frontend.dir/micro_frontend.cpp.o" "gcc" "bench/CMakeFiles/micro_frontend.dir/micro_frontend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/otter_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/lower/CMakeFiles/otter_lower.dir/DependInfo.cmake"
+  "/root/repo/build/src/sema/CMakeFiles/otter_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtlib/CMakeFiles/otter_rtlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/minimpi/CMakeFiles/otter_minimpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/otter_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/otter_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/otter_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_rtlib.dir/micro_rtlib.cpp.o"
+  "CMakeFiles/micro_rtlib.dir/micro_rtlib.cpp.o.d"
+  "micro_rtlib"
+  "micro_rtlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_rtlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

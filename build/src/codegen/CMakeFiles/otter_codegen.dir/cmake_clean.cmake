@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otter_codegen.dir/ccrun.cpp.o"
+  "CMakeFiles/otter_codegen.dir/ccrun.cpp.o.d"
+  "CMakeFiles/otter_codegen.dir/emit.cpp.o"
+  "CMakeFiles/otter_codegen.dir/emit.cpp.o.d"
+  "libotter_codegen.a"
+  "libotter_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otter_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otter_driver.dir/exec.cpp.o"
+  "CMakeFiles/otter_driver.dir/exec.cpp.o.d"
+  "CMakeFiles/otter_driver.dir/pipeline.cpp.o"
+  "CMakeFiles/otter_driver.dir/pipeline.cpp.o.d"
+  "libotter_driver.a"
+  "libotter_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otter_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

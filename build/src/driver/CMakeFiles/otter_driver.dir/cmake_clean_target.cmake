@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libotter_driver.a"
+)

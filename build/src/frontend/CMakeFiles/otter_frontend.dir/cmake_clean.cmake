@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otter_frontend.dir/ast.cpp.o"
+  "CMakeFiles/otter_frontend.dir/ast.cpp.o.d"
+  "CMakeFiles/otter_frontend.dir/builtins.cpp.o"
+  "CMakeFiles/otter_frontend.dir/builtins.cpp.o.d"
+  "CMakeFiles/otter_frontend.dir/lexer.cpp.o"
+  "CMakeFiles/otter_frontend.dir/lexer.cpp.o.d"
+  "CMakeFiles/otter_frontend.dir/parser.cpp.o"
+  "CMakeFiles/otter_frontend.dir/parser.cpp.o.d"
+  "libotter_frontend.a"
+  "libotter_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otter_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

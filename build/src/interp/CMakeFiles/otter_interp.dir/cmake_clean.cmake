@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otter_interp.dir/builtins.cpp.o"
+  "CMakeFiles/otter_interp.dir/builtins.cpp.o.d"
+  "CMakeFiles/otter_interp.dir/interp.cpp.o"
+  "CMakeFiles/otter_interp.dir/interp.cpp.o.d"
+  "CMakeFiles/otter_interp.dir/ops.cpp.o"
+  "CMakeFiles/otter_interp.dir/ops.cpp.o.d"
+  "CMakeFiles/otter_interp.dir/value.cpp.o"
+  "CMakeFiles/otter_interp.dir/value.cpp.o.d"
+  "libotter_interp.a"
+  "libotter_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otter_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

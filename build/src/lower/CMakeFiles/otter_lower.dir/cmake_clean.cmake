@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otter_lower.dir/lir.cpp.o"
+  "CMakeFiles/otter_lower.dir/lir.cpp.o.d"
+  "CMakeFiles/otter_lower.dir/lower.cpp.o"
+  "CMakeFiles/otter_lower.dir/lower.cpp.o.d"
+  "CMakeFiles/otter_lower.dir/peephole.cpp.o"
+  "CMakeFiles/otter_lower.dir/peephole.cpp.o.d"
+  "libotter_lower.a"
+  "libotter_lower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otter_lower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otter_minimpi.dir/comm.cpp.o"
+  "CMakeFiles/otter_minimpi.dir/comm.cpp.o.d"
+  "libotter_minimpi.a"
+  "libotter_minimpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otter_minimpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otter_rtlib.dir/dmatrix.cpp.o"
+  "CMakeFiles/otter_rtlib.dir/dmatrix.cpp.o.d"
+  "libotter_rtlib.a"
+  "libotter_rtlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otter_rtlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sema/infer.cpp" "src/sema/CMakeFiles/otter_sema.dir/infer.cpp.o" "gcc" "src/sema/CMakeFiles/otter_sema.dir/infer.cpp.o.d"
+  "/root/repo/src/sema/resolve.cpp" "src/sema/CMakeFiles/otter_sema.dir/resolve.cpp.o" "gcc" "src/sema/CMakeFiles/otter_sema.dir/resolve.cpp.o.d"
+  "/root/repo/src/sema/ssa.cpp" "src/sema/CMakeFiles/otter_sema.dir/ssa.cpp.o" "gcc" "src/sema/CMakeFiles/otter_sema.dir/ssa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/otter_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/otter_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otter_sema.dir/infer.cpp.o"
+  "CMakeFiles/otter_sema.dir/infer.cpp.o.d"
+  "CMakeFiles/otter_sema.dir/resolve.cpp.o"
+  "CMakeFiles/otter_sema.dir/resolve.cpp.o.d"
+  "CMakeFiles/otter_sema.dir/ssa.cpp.o"
+  "CMakeFiles/otter_sema.dir/ssa.cpp.o.d"
+  "libotter_sema.a"
+  "libotter_sema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otter_sema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

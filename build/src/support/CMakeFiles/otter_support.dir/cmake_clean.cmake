@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otter_support.dir/diag.cpp.o"
+  "CMakeFiles/otter_support.dir/diag.cpp.o.d"
+  "CMakeFiles/otter_support.dir/matio.cpp.o"
+  "CMakeFiles/otter_support.dir/matio.cpp.o.d"
+  "libotter_support.a"
+  "libotter_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otter_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interp2.dir/interp2_test.cpp.o"
+  "CMakeFiles/test_interp2.dir/interp2_test.cpp.o.d"
+  "test_interp2"
+  "test_interp2.pdb"
+  "test_interp2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interp2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sema_test.cpp" "tests/CMakeFiles/test_sema.dir/sema_test.cpp.o" "gcc" "tests/CMakeFiles/test_sema.dir/sema_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sema/CMakeFiles/otter_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/otter_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/otter_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

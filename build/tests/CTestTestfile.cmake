@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_lexer[1]_include.cmake")
+include("/root/repo/build/tests/test_parser[1]_include.cmake")
+include("/root/repo/build/tests/test_interp[1]_include.cmake")
+include("/root/repo/build/tests/test_minimpi[1]_include.cmake")
+include("/root/repo/build/tests/test_rtlib[1]_include.cmake")
+include("/root/repo/build/tests/test_sema[1]_include.cmake")
+include("/root/repo/build/tests/test_e2e[1]_include.cmake")
+include("/root/repo/build/tests/test_lower[1]_include.cmake")
+include("/root/repo/build/tests/test_codegen[1]_include.cmake")
+include("/root/repo/build/tests/test_misc[1]_include.cmake")
+include("/root/repo/build/tests/test_interp2[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otterc.dir/otterc.cpp.o"
+  "CMakeFiles/otterc.dir/otterc.cpp.o.d"
+  "otterc"
+  "otterc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otterc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for otterc.
+# This may be replaced when dependencies are built.
