@@ -38,9 +38,15 @@ class Executor {
   }
 
   void run() {
-    Frame frame;
-    declare(frame, prog_.script_vars);
-    exec_body(prog_.script, frame);
+    try {
+      Frame frame;
+      declare(frame, prog_.script_vars);
+      exec_body(prog_.script, frame);
+    } catch (const rt::RtError& e) {
+      // Attach the failing statement; the rank is attributed by run_spmd's
+      // per-rank aggregation, so repeating it here would double up.
+      throw rt::RtError(statement_context() + e.what());
+    }
   }
 
  private:
@@ -158,7 +164,16 @@ class Executor {
     return Flow::Normal;
   }
 
+  [[nodiscard]] std::string statement_context() const {
+    if (cur_ == nullptr) return "";
+    std::string ctx;
+    if (cur_->loc.valid()) ctx += "line " + std::to_string(cur_->loc.line) + " ";
+    ctx += "(" + std::string(lower::lop_name(cur_->op)) + "): ";
+    return ctx;
+  }
+
   Flow exec_instr(const LInstr& in, Frame& f) {
+    cur_ = &in;
     switch (in.op) {
       case LOp::MatMul:
         mat(f, in.dst) = rt::matmul(comm_, operand_mat(in.args[0], f),
@@ -559,6 +574,7 @@ class Executor {
   ExecOptions opts_;
   std::unordered_map<std::string, const LFunction*> fns_;
   uint64_t rand_seq_ = 0;
+  const LInstr* cur_ = nullptr;  // innermost statement, for error context
 };
 
 }  // namespace

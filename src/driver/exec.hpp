@@ -14,11 +14,16 @@ namespace otter::driver {
 struct ExecOptions {
   uint64_t rand_seed = 1;
   rt::Dist dist = rt::Dist::RowBlock;  // data-distribution strategy
+  /// Failure handling + fault injection for the surrounding SPMD run
+  /// (consumed by run_parallel / the cc runner, not per-rank execution).
+  mpi::SpmdOptions spmd;
 };
 
 /// Runs the lowered program as this rank's part of the SPMD computation.
 /// Only rank 0 writes to `out`. Throws rt::RtError / mpi::MpiError on
-/// run-time failures.
+/// run-time failures; rt::RtError is re-raised with rank and statement
+/// context ("rank 3: line 12 (matmul): …") so a parallel failure names its
+/// origin.
 void execute_lir(const lower::LProgram& prog, mpi::Comm& comm,
                  std::ostream& out, const ExecOptions& opts = {});
 

@@ -1,5 +1,6 @@
 #include "driver/pipeline.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -42,10 +43,41 @@ ParallelRun run_parallel(const lower::LProgram& lir,
                          const ExecOptions& opts) {
   ParallelRun result;
   std::ostringstream out;
-  result.times = mpi::run_spmd(profile, nranks, [&](mpi::Comm& comm) {
-    execute_lir(lir, comm, out, opts);
-  });
+  result.times = mpi::run_spmd(
+      profile, nranks,
+      [&](mpi::Comm& comm) { execute_lir(lir, comm, out, opts); }, opts.spmd);
   result.output = out.str();
+  return result;
+}
+
+RetryRun run_with_retries(const lower::LProgram& lir,
+                          const mpi::MachineProfile& profile, int nranks,
+                          const ExecOptions& opts, const RetryOptions& retry) {
+  RetryRun result;
+  double next_backoff = retry.backoff;
+  uint64_t base_seed = opts.spmd.fault.seed;
+  for (int attempt = 1; attempt <= std::max(1, retry.max_attempts); ++attempt) {
+    result.attempts = attempt;
+    ExecOptions eopts = opts;
+    if (retry.reseed_faults && attempt > 1 && opts.spmd.fault.enabled()) {
+      // A fresh seed models a transient network: probabilistic drops /
+      // corruption land elsewhere, while crash_rank faults (permanent
+      // failures) still fire and keep the run failing.
+      eopts.spmd.fault.seed = base_seed + static_cast<uint64_t>(attempt - 1);
+    }
+    try {
+      result.run = run_parallel(lir, profile, nranks, eopts);
+      result.ok = true;
+      // Charge the accumulated backoff to every rank: in virtual time the
+      // retries happened sequentially after the failed attempts.
+      for (double& t : result.run.times.vtimes) t += result.backoff_vtime;
+      return result;
+    } catch (const mpi::SpmdFailure& e) {
+      result.failures.push_back({attempt, e.what()});
+      result.backoff_vtime += next_backoff;
+      next_backoff *= retry.backoff_factor;
+    }
+  }
   return result;
 }
 

@@ -39,9 +39,48 @@ struct ParallelRun {
 };
 
 /// Runs compiled LIR on `nranks` ranks of `profile` via the direct executor.
+/// `opts.spmd` configures the watchdog deadline and fault injection; on any
+/// rank failure an mpi::SpmdFailure aggregating every rank's outcome is
+/// thrown.
 ParallelRun run_parallel(const lower::LProgram& lir,
                          const mpi::MachineProfile& profile, int nranks,
                          const ExecOptions& opts = {});
+
+/// Retry policy for run_with_retries. Backoff is charged in *virtual* time
+/// (added to every rank's clock of the successful run), mirroring how the
+/// virtual-time model accounts for everything else — no wall sleeping.
+struct RetryOptions {
+  int max_attempts = 3;
+  double backoff = 0.5;         ///< virtual seconds before the first retry
+  double backoff_factor = 2.0;  ///< multiplier per subsequent retry
+  /// Perturb the fault-injection seed on each attempt so scripted
+  /// *probabilistic* faults behave like transient failures (a retry can
+  /// succeed), while scripted crashes stay deterministic.
+  bool reseed_faults = true;
+};
+
+/// One failed attempt inside run_with_retries.
+struct AttemptFailure {
+  int attempt = 0;      // 1-based
+  std::string what;     // the SpmdFailure report
+};
+
+struct RetryRun {
+  ParallelRun run;      // valid only when ok
+  bool ok = false;
+  int attempts = 0;     // attempts consumed (successful one included)
+  double backoff_vtime = 0.0;  // total virtual backoff charged
+  std::vector<AttemptFailure> failures;  // one entry per failed attempt
+};
+
+/// Runs the program like run_parallel but re-runs failed executions with
+/// exponential backoff in virtual time, reporting per-attempt statistics.
+/// Never throws SpmdFailure: exhausted retries return ok == false with the
+/// failure log filled in.
+RetryRun run_with_retries(const lower::LProgram& lir,
+                          const mpi::MachineProfile& profile, int nranks,
+                          const ExecOptions& opts = {},
+                          const RetryOptions& retry = {});
 
 struct InterpRun {
   std::string output;

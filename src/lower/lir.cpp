@@ -309,4 +309,50 @@ std::string dump_lir(const LProgram& p) {
   return ss.str();
 }
 
+const char* lop_name(LOp op) {
+  switch (op) {
+    case LOp::MatMul: return "matmul";
+    case LOp::MatVec: return "matvec";
+    case LOp::VecMat: return "vecmat";
+    case LOp::OuterProd: return "outer-product";
+    case LOp::TransposeOp: return "transpose";
+    case LOp::DotProd: return "dot";
+    case LOp::Reduce: return "reduce";
+    case LOp::Colwise: return "colwise";
+    case LOp::Norm: return "norm";
+    case LOp::Trapz: return "trapz";
+    case LOp::GetElem: return "get-elem";
+    case LOp::SetElem: return "set-elem";
+    case LOp::ExtractRowOp: return "extract-row";
+    case LOp::ExtractColOp: return "extract-col";
+    case LOp::AssignRowOp: return "assign-row";
+    case LOp::AssignColOp: return "assign-col";
+    case LOp::SliceVec: return "slice";
+    case LOp::AssignSliceOp: return "assign-slice";
+    case LOp::FillZeros: return "zeros";
+    case LOp::FillOnes: return "ones";
+    case LOp::FillEye: return "eye";
+    case LOp::FillRand: return "rand";
+    case LOp::FillRange: return "range";
+    case LOp::FillLinspace: return "linspace";
+    case LOp::LoadFile: return "load";
+    case LOp::FromLiteral: return "matrix-literal";
+    case LOp::CopyMat: return "copy";
+    case LOp::Elemwise: return "elemwise";
+    case LOp::ScalarAssign: return "scalar-assign";
+    case LOp::CallFn: return "call";
+    case LOp::Display: return "display";
+    case LOp::DispOp: return "disp";
+    case LOp::FprintfOp: return "fprintf";
+    case LOp::ErrorOp: return "error";
+    case LOp::IfOp: return "if";
+    case LOp::WhileOp: return "while";
+    case LOp::ForOp: return "for";
+    case LOp::BreakOp: return "break";
+    case LOp::ContinueOp: return "continue";
+    case LOp::ReturnOp: return "return";
+  }
+  return "unknown";
+}
+
 }  // namespace otter::lower

@@ -182,4 +182,7 @@ struct LProgram {
 std::string dump_lir(const LProgram& p);
 std::string dump_lexpr(const LExpr& e);
 
+/// Short mnemonic for an opcode ("matmul", "get-elem", …) for diagnostics.
+const char* lop_name(LOp op);
+
 }  // namespace otter::lower

@@ -1,8 +1,10 @@
 #include "minimpi/comm.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <exception>
+#include <sstream>
 #include <thread>
 
 #include <time.h>
@@ -77,41 +79,180 @@ MachineProfile profile_by_name(const std::string& name) {
   return ideal();
 }
 
+// -- SpmdFailure --------------------------------------------------------------
+
+SpmdFailure::SpmdFailure(std::vector<RankFailure> failures)
+    : MpiError(format(failures)), failures_(std::move(failures)) {
+  // Primaries first, rank order within each class — callers index freely.
+  std::stable_sort(failures_.begin(), failures_.end(),
+                   [](const RankFailure& a, const RankFailure& b) {
+                     return a.primary > b.primary;
+                   });
+}
+
+const RankFailure& SpmdFailure::first() const {
+  for (const RankFailure& f : failures_) {
+    if (f.primary) return f;
+  }
+  return failures_.front();
+}
+
+size_t SpmdFailure::primary_count() const {
+  size_t n = 0;
+  for (const RankFailure& f : failures_) n += f.primary ? 1 : 0;
+  return n;
+}
+
+std::string SpmdFailure::format(const std::vector<RankFailure>& failures) {
+  std::ostringstream ss;
+  ss << "SPMD run failed: ";
+  size_t primaries = 0;
+  for (const RankFailure& f : failures) {
+    if (!f.primary) continue;
+    if (primaries > 0) ss << "; ";
+    ss << "rank " << f.rank << ": " << f.what << " (after " << f.ops_completed
+       << " comm ops)";
+    ++primaries;
+  }
+  if (primaries == 0 && !failures.empty()) {
+    // No rank failed on its own: a watchdog/deadlock abort — every entry
+    // carries the same diagnosis, so print it once.
+    ss << failures.front().what;
+  } else if (failures.size() > primaries) {
+    ss << "; " << failures.size() - primaries << " rank(s) aborted in sympathy";
+  }
+  return ss.str();
+}
+
 // -- network ------------------------------------------------------------------
 
 namespace detail {
 
-Network::Network(MachineProfile profile_in, int nranks_in)
+Network::Network(MachineProfile profile_in, int nranks_in, SpmdOptions opts_in)
     : profile(std::move(profile_in)),
       nranks(nranks_in),
-      final_vtimes(static_cast<size_t>(nranks_in), 0.0) {
-  boxes_.reserve(static_cast<size_t>(nranks));
-  for (int i = 0; i < nranks; ++i) {
-    boxes_.push_back(std::make_unique<Mailbox>());
-  }
-}
+      opts(std::move(opts_in)),
+      final_vtimes(static_cast<size_t>(nranks_in), 0.0),
+      final_ops(static_cast<size_t>(nranks_in), 0),
+      queues_(static_cast<size_t>(nranks_in)),
+      waiters_(static_cast<size_t>(nranks_in)) {}
 
 void Network::deliver(int dst, Message msg) {
-  Mailbox& box = *boxes_.at(static_cast<size_t>(dst));
-  {
-    std::lock_guard<std::mutex> lock(box.mu);
-    box.queue.push_back(std::move(msg));
+  std::lock_guard<std::mutex> lock(mu_);
+  queues_.at(static_cast<size_t>(dst)).push_back(std::move(msg));
+  cv_.notify_all();
+}
+
+bool Network::match_in_queue_locked(int dst, int src, int tag) const {
+  for (const Message& m : queues_[static_cast<size_t>(dst)]) {
+    if (m.src == src && m.tag == tag) return true;
   }
-  box.cv.notify_all();
+  return false;
+}
+
+std::string Network::waitfor_report_locked() const {
+  std::ostringstream ss;
+  ss << "wait-for graph:";
+  bool first = true;
+  for (int r = 0; r < nranks; ++r) {
+    const Waiter& w = waiters_[static_cast<size_t>(r)];
+    if (!w.active) continue;
+    ss << (first ? " " : "; ") << "rank " << r << " waits on rank " << w.src
+       << " (tag " << w.tag << ")";
+    first = false;
+  }
+  int exited = done_;
+  if (exited > 0) ss << (first ? " " : "; ") << exited << " rank(s) already exited";
+  return ss.str();
+}
+
+void Network::abort_locked(int rank, const std::string& what) {
+  if (aborted_) return;
+  aborted_ = true;
+  if (rank >= 0) {
+    abort_what_ = "aborted: rank " + std::to_string(rank) + " failed: " + what;
+  } else {
+    abort_what_ = what;
+  }
+  cv_.notify_all();
+}
+
+void Network::abort(int rank, const std::string& what) {
+  std::lock_guard<std::mutex> lock(mu_);
+  abort_locked(rank, what);
+}
+
+void Network::throw_if_aborted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (aborted_) throw AbortedError(abort_what_);
+}
+
+bool Network::check_deadlock_locked() {
+  if (aborted_) return true;
+  if (waiting_ == 0 || waiting_ != nranks - done_) return false;
+  // Every live rank is blocked. If any of them has a deliverable message it
+  // merely has not woken yet; otherwise nobody can ever send again.
+  for (int r = 0; r < nranks; ++r) {
+    const Waiter& w = waiters_[static_cast<size_t>(r)];
+    if (!w.active) continue;
+    if (match_in_queue_locked(r, w.src, w.tag)) return false;
+  }
+  abort_locked(-1, "deadlock detected: every live rank is blocked on a "
+                   "message that can never arrive; " +
+                       waitfor_report_locked());
+  return true;
+}
+
+void Network::rank_done(int rank) {
+  (void)rank;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++done_;
+  // Peers blocked on this rank can now never be satisfied; recheck.
+  check_deadlock_locked();
+  cv_.notify_all();
 }
 
 Message Network::await(int dst, int src, int tag) {
-  Mailbox& box = *boxes_.at(static_cast<size_t>(dst));
-  std::unique_lock<std::mutex> lock(box.mu);
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(opts.watchdog_timeout));
+  Waiter& me = waiters_[static_cast<size_t>(dst)];
+  me = {true, src, tag};
+  ++waiting_;
+  // Deregister on every exit path (match, abort, watchdog).
+  struct Deregister {
+    Waiter& w;
+    int& count;
+    ~Deregister() {
+      w.active = false;
+      --count;
+    }
+  } deregister{me, waiting_};
   for (;;) {
-    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+    if (aborted_) throw AbortedError(abort_what_);
+    auto& q = queues_[static_cast<size_t>(dst)];
+    for (auto it = q.begin(); it != q.end(); ++it) {
       if (it->src == src && it->tag == tag) {
         Message msg = std::move(*it);
-        box.queue.erase(it);
+        q.erase(it);
         return msg;
       }
     }
-    box.cv.wait(lock);
+    if (check_deadlock_locked()) throw AbortedError(abort_what_);
+    if (std::chrono::steady_clock::now() >= deadline) {
+      abort_locked(-1, "watchdog: rank " + std::to_string(dst) +
+                           " blocked for more than " +
+                           std::to_string(opts.watchdog_timeout) +
+                           "s waiting on rank " + std::to_string(src) +
+                           " (tag " + std::to_string(tag) + "); " +
+                           waitfor_report_locked());
+      throw AbortedError(abort_what_);
+    }
+    // Short slices so the backstop deadline is honoured even if no
+    // notification ever arrives.
+    cv_.wait_for(lock, std::chrono::milliseconds(50));
   }
 }
 
@@ -119,7 +260,8 @@ Message Network::await(int dst, int src, int tag) {
 
 // -- Comm ---------------------------------------------------------------------
 
-Comm::Comm(detail::Network& net, int rank) : net_(net), rank_(rank) {
+Comm::Comm(detail::Network& net, int rank)
+    : net_(net), rank_(rank), faults_(net.opts.fault, rank) {
   last_cpu_ = now_cpu();
 }
 
@@ -137,8 +279,35 @@ void Comm::charge_compute() {
   if (delta > 0) vtime_ += delta * net_.profile.cpu_scale;
 }
 
+void Comm::op_event(const char* what) {
+  net_.throw_if_aborted();
+  uint64_t op = ops_ + 1;
+  if (faults_.crash_now(rank_, op)) {
+    publish_stats();
+    throw MpiError("fault injection: rank " + std::to_string(rank_) +
+                   " crashed at communication op " + std::to_string(op) +
+                   " (" + what + ")");
+  }
+  ++ops_;
+}
+
+void Comm::check_counts(const char* op,
+                        const std::vector<size_t>& counts) const {
+  if (static_cast<int>(counts.size()) != size()) {
+    throw MpiError(std::string(op) + ": counts has " +
+                   std::to_string(counts.size()) + " entries but the " +
+                   "communicator has " + std::to_string(size()) +
+                   " ranks (at rank " + std::to_string(rank_) + ")");
+  }
+}
+
 void Comm::send(int dst, int tag, const void* data, size_t bytes) {
-  if (dst < 0 || dst >= size()) throw MpiError("send: bad destination rank");
+  if (dst < 0 || dst >= size()) {
+    throw MpiError("send: bad destination rank " + std::to_string(dst) +
+                   " (communicator has " + std::to_string(size()) +
+                   " ranks; tag " + std::to_string(tag) + ")");
+  }
+  op_event("send");
   charge_compute();
   const MachineProfile& p = net_.profile;
   double wire = p.latency(rank_, dst) +
@@ -159,17 +328,31 @@ void Comm::send(int dst, int tag, const void* data, size_t bytes) {
     vtime_ += p.send_overhead;
     msg.ready_vtime = vtime_ + wire;
   }
+  detail::FaultStream::Decision fd = faults_.next_send();
+  msg.ready_vtime += fd.extra_delay;
+  if (fd.corrupt && !msg.payload.empty()) {
+    msg.payload[fd.corrupt_byte % msg.payload.size()] ^= std::byte{0xFF};
+  }
+  if (fd.drop) return;  // the sender paid the cost; the network ate the data
+  if (fd.duplicate) net_.deliver(dst, msg);
   net_.deliver(dst, std::move(msg));
 }
 
 void Comm::recv(int src, int tag, void* data, size_t bytes) {
-  if (src < 0 || src >= size()) throw MpiError("recv: bad source rank");
+  if (src < 0 || src >= size()) {
+    throw MpiError("recv: bad source rank " + std::to_string(src) +
+                   " (communicator has " + std::to_string(size()) +
+                   " ranks; tag " + std::to_string(tag) + ")");
+  }
+  op_event("recv");
   charge_compute();
   detail::Message msg = net_.await(rank_, src, tag);
   if (msg.payload.size() != bytes) {
-    throw MpiError("recv: message size mismatch (expected " +
+    throw MpiError("recv: message size mismatch at rank " +
+                   std::to_string(rank_) + " from rank " + std::to_string(src) +
+                   " (tag " + std::to_string(tag) + "): expected " +
                    std::to_string(bytes) + " bytes, got " +
-                   std::to_string(msg.payload.size()) + ")");
+                   std::to_string(msg.payload.size()));
   }
   std::memcpy(data, msg.payload.data(), bytes);
   // Clock may not move backwards: we waited (virtually) for the data.
@@ -330,9 +513,7 @@ double Comm::allreduce_scalar(double v, ReduceOp op) {
 void Comm::allgatherv(const double* in, double* out,
                       const std::vector<size_t>& counts) {
   int p = size();
-  if (static_cast<int>(counts.size()) != p) {
-    throw MpiError("allgatherv: counts size != nranks");
-  }
+  check_counts("allgatherv", counts);
   std::vector<size_t> offsets(static_cast<size_t>(p) + 1, 0);
   for (int r = 0; r < p; ++r) offsets[r + 1] = offsets[r] + counts[r];
   // Copy own block.
@@ -358,9 +539,7 @@ void Comm::allgatherv(const double* in, double* out,
 void Comm::gatherv(const double* in, double* out,
                    const std::vector<size_t>& counts, int root) {
   int p = size();
-  if (static_cast<int>(counts.size()) != p) {
-    throw MpiError("gatherv: counts size != nranks");
-  }
+  check_counts("gatherv", counts);
   if (rank_ == root) {
     size_t off = 0;
     for (int r = 0; r < p; ++r) {
@@ -380,9 +559,7 @@ void Comm::gatherv(const double* in, double* out,
 void Comm::scatterv(const double* in, double* out,
                     const std::vector<size_t>& counts, int root) {
   int p = size();
-  if (static_cast<int>(counts.size()) != p) {
-    throw MpiError("scatterv: counts size != nranks");
-  }
+  check_counts("scatterv", counts);
   if (rank_ == root) {
     size_t off = 0;
     for (int r = 0; r < p; ++r) {
@@ -403,7 +580,10 @@ void Comm::alltoallv(const std::vector<std::vector<double>>& send_blocks,
                      std::vector<std::vector<double>>& recv_blocks) {
   int p = size();
   if (static_cast<int>(send_blocks.size()) != p) {
-    throw MpiError("alltoallv: send_blocks size != nranks");
+    throw MpiError("alltoallv: send_blocks has " +
+                   std::to_string(send_blocks.size()) +
+                   " entries but the communicator has " + std::to_string(p) +
+                   " ranks (at rank " + std::to_string(rank_) + ")");
   }
   recv_blocks.assign(static_cast<size_t>(p), {});
   recv_blocks[rank_] = send_blocks[rank_];
@@ -431,6 +611,11 @@ void Comm::alltoallv(const std::vector<std::vector<double>>& send_blocks,
 void Comm::finish() {
   charge_compute();
   net_.final_vtimes[static_cast<size_t>(rank_)] = vtime_;
+  publish_stats();
+}
+
+void Comm::publish_stats() {
+  net_.final_ops[static_cast<size_t>(rank_)] = ops_;
 }
 
 // -- runner -------------------------------------------------------------------
@@ -442,34 +627,70 @@ double RunResult::max_vtime() const {
 }
 
 RunResult run_spmd(const MachineProfile& profile, int nranks,
-                   const std::function<void(Comm&)>& body) {
+                   const std::function<void(Comm&)>& body,
+                   const SpmdOptions& opts) {
   if (nranks < 1) throw MpiError("run_spmd: need at least one rank");
   if (nranks > profile.max_ranks) {
     throw MpiError("run_spmd: profile '" + profile.name + "' supports at most " +
                    std::to_string(profile.max_ranks) + " ranks");
   }
-  detail::Network net(profile, nranks);
+  detail::Network net(profile, nranks, opts);
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(static_cast<size_t>(nranks));
+  std::vector<char> primary(static_cast<size_t>(nranks), 0);
   threads.reserve(static_cast<size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&, r]() {
+      size_t slot = static_cast<size_t>(r);
+      Comm comm(net, r);
       try {
-        Comm comm(net, r);
         body(comm);
         comm.finish();
+      } catch (const AbortedError&) {
+        // Torn down in sympathy with another rank's failure.
+        errors[slot] = std::current_exception();
+      } catch (const std::exception& e) {
+        errors[slot] = std::current_exception();
+        primary[slot] = 1;
+        net.abort(r, e.what());
       } catch (...) {
-        errors[static_cast<size_t>(r)] = std::current_exception();
+        errors[slot] = std::current_exception();
+        primary[slot] = 1;
+        net.abort(r, "unknown error");
       }
+      comm.publish_stats();
+      // After this, rank r sends nothing more: peers blocked on it must be
+      // diagnosed, not left hanging.
+      net.rank_done(r);
     });
   }
   for (std::thread& t : threads) t.join();
-  for (const std::exception_ptr& e : errors) {
-    if (e) std::rethrow_exception(e);
+  std::vector<RankFailure> failures;
+  for (int r = 0; r < nranks; ++r) {
+    size_t slot = static_cast<size_t>(r);
+    if (!errors[slot]) continue;
+    RankFailure f;
+    f.rank = r;
+    f.primary = primary[slot] != 0;
+    f.ops_completed = net.final_ops[slot];
+    try {
+      std::rethrow_exception(errors[slot]);
+    } catch (const std::exception& e) {
+      f.what = e.what();
+    } catch (...) {
+      f.what = "unknown error";
+    }
+    failures.push_back(std::move(f));
   }
+  if (!failures.empty()) throw SpmdFailure(std::move(failures));
   RunResult result;
   result.vtimes = net.final_vtimes;
   return result;
+}
+
+RunResult run_spmd(const MachineProfile& profile, int nranks,
+                   const std::function<void(Comm&)>& body) {
+  return run_spmd(profile, nranks, body, SpmdOptions{});
 }
 
 }  // namespace otter::mpi

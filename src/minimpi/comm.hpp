@@ -13,6 +13,16 @@
 //       intra-/inter-node distinction and shared-medium serialization).
 // Speedup figures report max-over-ranks virtual time, which is exactly the
 // quantity the paper's figures plot.
+//
+// Fault tolerance: the network carries an abort ("poison") state. The first
+// rank that fails marks the network and wakes every blocked peer; all
+// subsequent communication throws AbortedError, so a run always terminates
+// and run_spmd can aggregate every rank's outcome into one SpmdFailure. A
+// deadlock watchdog diagnoses runs where every live rank is blocked on a
+// message that can never arrive, and a wall-clock deadline backstops runs
+// that wedge in ways the watchdog cannot see. Deterministic fault injection
+// (minimpi/fault.hpp) scripts drops, delays, duplication, corruption, and
+// rank crashes for tests and benches.
 #pragma once
 
 #include <condition_variable>
@@ -27,6 +37,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "minimpi/fault.hpp"
 #include "minimpi/profile.hpp"
 
 namespace otter::mpi {
@@ -34,6 +45,59 @@ namespace otter::mpi {
 class MpiError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+/// Thrown by communication calls on a poisoned network: some *other* rank
+/// failed (or the watchdog fired) and this rank is being torn down in
+/// sympathy. run_spmd uses the distinction to separate primary failures
+/// from secondary aborts.
+class AbortedError : public MpiError {
+ public:
+  using MpiError::MpiError;
+};
+
+/// Per-run execution policy: failure handling and fault injection.
+struct SpmdOptions {
+  /// Wall-clock seconds a single blocked send/recv may wait before the
+  /// watchdog declares the run wedged and aborts it. This is the backstop
+  /// deadline; true deadlocks (every live rank blocked, nothing deliverable)
+  /// are detected immediately without waiting.
+  double watchdog_timeout = 30.0;
+
+  /// Scripted deterministic faults (see minimpi/fault.hpp). Default: none.
+  FaultPlan fault;
+};
+
+/// One rank's outcome inside a failed SPMD run.
+struct RankFailure {
+  int rank = -1;
+  std::string what;
+  /// True when this rank failed on its own; false when it was torn down by
+  /// the network abort triggered by another rank's failure (AbortedError).
+  bool primary = false;
+  /// Communication ops (p2p sends + receives) the rank completed before it
+  /// stopped.
+  uint64_t ops_completed = 0;
+};
+
+/// Aggregated failure of an SPMD run: every rank that did not finish
+/// cleanly, primaries first. what() carries a formatted report naming the
+/// originating rank(s), so existing catch(std::exception) sites stay
+/// informative.
+class SpmdFailure : public MpiError {
+ public:
+  explicit SpmdFailure(std::vector<RankFailure> failures);
+
+  [[nodiscard]] const std::vector<RankFailure>& failures() const {
+    return failures_;
+  }
+  /// First primary failure if any, else the first failure.
+  [[nodiscard]] const RankFailure& first() const;
+  [[nodiscard]] size_t primary_count() const;
+
+ private:
+  static std::string format(const std::vector<RankFailure>& failures);
+  std::vector<RankFailure> failures_;
 };
 
 namespace detail {
@@ -45,27 +109,70 @@ struct Message {
   double ready_vtime = 0.0;  // virtual time at which the data has arrived
 };
 
-/// Shared state for one SPMD run: one mailbox per rank plus final clocks.
+/// Shared state for one SPMD run: one mailbox per rank, final clocks, the
+/// abort ("poison") flag, and the deadlock watchdog's wait-for table.
+///
+/// A single mutex guards every mailbox. That makes the deadlock check — "is
+/// every live rank blocked with nothing deliverable?" — a trivially
+/// consistent snapshot, and with <= 16 simulated ranks the contention is
+/// irrelevant (virtual time, not wall time, is what the model reports).
 class Network {
  public:
-  Network(MachineProfile profile, int nranks);
+  Network(MachineProfile profile, int nranks, SpmdOptions opts = {});
 
   void deliver(int dst, Message msg);
+
+  /// Blocks until a message from (src, tag) is available for dst. Throws
+  /// AbortedError if the network is (or becomes) poisoned, if the deadlock
+  /// watchdog fires, or if the wall-clock backstop deadline expires.
   Message await(int dst, int src, int tag);
+
+  /// Poisons the network: records the first failure, wakes every blocked
+  /// rank. `rank` < 0 marks a watchdog/deadlock abort. First call wins;
+  /// later calls are ignored.
+  void abort(int rank, const std::string& what);
+
+  /// Throws AbortedError when the network is poisoned. Called at the top of
+  /// every communication op so no rank can keep talking to a dead run.
+  void throw_if_aborted() const;
+
+  /// Marks `rank` as finished (normally or by failure): it will deliver no
+  /// further messages. Re-runs the deadlock check, since ranks still blocked
+  /// on this rank can now never be satisfied.
+  void rank_done(int rank);
 
   const MachineProfile profile;
   const int nranks;
+  const SpmdOptions opts;
 
-  // Final per-rank virtual times, filled in as ranks finish.
+  // Final per-rank virtual times and op counts; each slot is written only
+  // by its owning rank's thread before run_spmd joins it.
   std::vector<double> final_vtimes;
+  std::vector<uint64_t> final_ops;
 
  private:
-  struct Mailbox {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<Message> queue;
+  struct Waiter {
+    bool active = false;
+    int src = -1;
+    int tag = 0;
   };
-  std::vector<std::unique_ptr<Mailbox>> boxes_;
+
+  [[nodiscard]] bool match_in_queue_locked(int dst, int src, int tag) const;
+  /// Declares a deadlock (and poisons the network) when every live rank is
+  /// blocked and none of their awaited messages is queued. Returns whether
+  /// the network is now aborted.
+  bool check_deadlock_locked();
+  [[nodiscard]] std::string waitfor_report_locked() const;
+  void abort_locked(int rank, const std::string& what);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::deque<Message>> queues_;
+  std::vector<Waiter> waiters_;
+  int waiting_ = 0;  // ranks currently blocked in await
+  int done_ = 0;     // ranks that finished or failed
+  bool aborted_ = false;
+  std::string abort_what_;
 };
 
 }  // namespace detail
@@ -90,6 +197,9 @@ class Comm {
   void charge(double seconds) { vtime_ += seconds; }
 
   [[nodiscard]] double vtime() const { return vtime_; }
+
+  /// Communication ops (p2p sends + receives) completed so far.
+  [[nodiscard]] uint64_t ops() const { return ops_; }
 
   // -- point-to-point ----------------------------------------------------------
 
@@ -156,13 +266,25 @@ class Comm {
   /// Records this rank's final virtual time into the network (call last).
   void finish();
 
+  /// Publishes the op counter into the network (also done by finish();
+  /// run_spmd calls this for ranks that die before finishing).
+  void publish_stats();
+
  private:
   [[nodiscard]] double now_cpu() const;
+
+  /// Entry gate for every communication op: checks the poison flag, counts
+  /// the op, and fires a scripted crash when the fault plan says so.
+  void op_event(const char* what);
+
+  void check_counts(const char* op, const std::vector<size_t>& counts) const;
 
   detail::Network& net_;
   int rank_;
   double vtime_ = 0.0;
   double last_cpu_ = 0.0;
+  uint64_t ops_ = 0;
+  detail::FaultStream faults_;
 };
 
 /// Result of one SPMD execution.
@@ -172,7 +294,12 @@ struct RunResult {
 };
 
 /// Runs `body` on `nranks` ranks (threads) over a fresh network and returns
-/// the per-rank virtual times. Exceptions thrown by any rank are rethrown.
+/// the per-rank virtual times. If any rank fails, the whole run is aborted
+/// (no rank is left blocked) and an SpmdFailure aggregating every rank's
+/// outcome is thrown.
+RunResult run_spmd(const MachineProfile& profile, int nranks,
+                   const std::function<void(Comm&)>& body,
+                   const SpmdOptions& opts);
 RunResult run_spmd(const MachineProfile& profile, int nranks,
                    const std::function<void(Comm&)>& body);
 

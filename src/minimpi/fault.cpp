@@ -1,0 +1,127 @@
+#include "minimpi/fault.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "minimpi/comm.hpp"
+
+namespace otter::mpi {
+
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& spec, const std::string& why) {
+  throw MpiError("fault plan '" + spec + "': " + why);
+}
+
+double parse_prob(const std::string& spec, const std::string& key,
+                  const std::string& value) {
+  char* end = nullptr;
+  double p = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0' || p < 0.0 || p > 1.0) {
+    bad_spec(spec, key + " needs a probability in [0,1], got '" + value + "'");
+  }
+  return p;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::istringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      bad_spec(spec, "expected key=value, got '" + item + "'");
+    }
+    std::string key = item.substr(0, eq);
+    std::string value = item.substr(eq + 1);
+    if (key == "seed") {
+      plan.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "drop") {
+      plan.drop_prob = parse_prob(spec, key, value);
+    } else if (key == "dup") {
+      plan.duplicate_prob = parse_prob(spec, key, value);
+    } else if (key == "corrupt") {
+      plan.corrupt_prob = parse_prob(spec, key, value);
+    } else if (key == "delay") {
+      plan.delay_prob = parse_prob(spec, key, value);
+    } else if (key == "delay-secs") {
+      char* end = nullptr;
+      plan.delay_seconds = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || plan.delay_seconds < 0) {
+        bad_spec(spec, "delay-secs needs a nonnegative number");
+      }
+    } else if (key == "crash") {
+      // RANK@OP, OP defaulting to 1.
+      size_t at = value.find('@');
+      std::string rank_str = value.substr(0, at);
+      char* end = nullptr;
+      long rank = std::strtol(rank_str.c_str(), &end, 10);
+      if (end == rank_str.c_str() || *end != '\0' || rank < 0) {
+        bad_spec(spec, "crash needs RANK or RANK@OP, got '" + value + "'");
+      }
+      plan.crash_rank = static_cast<int>(rank);
+      if (at != std::string::npos) {
+        std::string op_str = value.substr(at + 1);
+        plan.crash_at_op = std::strtoull(op_str.c_str(), &end, 10);
+        if (end == op_str.c_str() || *end != '\0' || plan.crash_at_op == 0) {
+          bad_spec(spec, "crash op must be a positive integer");
+        }
+      }
+    } else {
+      bad_spec(spec, "unknown key '" + key + "'");
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream ss;
+  ss << "seed=" << seed;
+  if (drop_prob > 0) ss << ",drop=" << drop_prob;
+  if (duplicate_prob > 0) ss << ",dup=" << duplicate_prob;
+  if (corrupt_prob > 0) ss << ",corrupt=" << corrupt_prob;
+  if (delay_prob > 0) ss << ",delay=" << delay_prob
+                         << ",delay-secs=" << delay_seconds;
+  if (crash_rank >= 0) ss << ",crash=" << crash_rank << '@' << crash_at_op;
+  return ss.str();
+}
+
+namespace detail {
+
+FaultStream::FaultStream(const FaultPlan& plan, int rank)
+    : plan_(plan),
+      // SplitMix-style spread so adjacent ranks get unrelated streams.
+      state_((plan.seed + 0x9E3779B97F4A7C15ULL * (static_cast<uint64_t>(rank) + 1))
+             | 1ULL) {}
+
+double FaultStream::next_unit() {
+  // Same LCG family as support/rng.hpp; private constants are fine here
+  // because these draws never have to match the language-level `rand`.
+  state_ = 6364136223846793005ULL * state_ + 1442695040888963407ULL;
+  return static_cast<double>(state_ >> 11) * (1.0 / 9007199254740992.0);
+}
+
+FaultStream::Decision FaultStream::next_send() {
+  Decision d;
+  if (!plan_.enabled()) return d;
+  // Always burn the same number of draws per message so the schedule is
+  // independent of which probabilities happen to be zero.
+  double u_drop = next_unit();
+  double u_dup = next_unit();
+  double u_corrupt = next_unit();
+  double u_delay = next_unit();
+  double u_byte = next_unit();
+  d.drop = u_drop < plan_.drop_prob;
+  d.duplicate = !d.drop && u_dup < plan_.duplicate_prob;
+  d.corrupt = !d.drop && u_corrupt < plan_.corrupt_prob;
+  if (!d.drop && u_delay < plan_.delay_prob) d.extra_delay = plan_.delay_seconds;
+  d.corrupt_byte = static_cast<size_t>(u_byte * 1e9);
+  return d;
+}
+
+}  // namespace detail
+
+}  // namespace otter::mpi

@@ -1,0 +1,80 @@
+// Deterministic fault injection for minimpi.
+//
+// A FaultPlan scripts network and rank failures so that tests and benches
+// can exercise the runtime's failure paths reproducibly: the same plan and
+// seed produce bit-identical fault schedules on every run. Faults are drawn
+// from per-rank LCG streams keyed by (seed, rank), so the decision sequence
+// is a pure function of each rank's communication order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace otter::mpi {
+
+/// Scripted failures for one SPMD run. Probabilities apply per message at
+/// the sender; the crash trigger applies at a rank's k-th communication op
+/// (sends and receives both count, collectives count per underlying p2p op).
+struct FaultPlan {
+  uint64_t seed = 1;
+
+  double drop_prob = 0.0;       ///< message silently lost in the network
+  double duplicate_prob = 0.0;  ///< message delivered twice
+  double corrupt_prob = 0.0;    ///< one payload byte flipped in flight
+  double delay_prob = 0.0;      ///< message delayed by `delay_seconds`
+  double delay_seconds = 0.01;  ///< virtual-time penalty for delayed messages
+
+  int crash_rank = -1;          ///< rank to crash (-1: nobody)
+  uint64_t crash_at_op = 1;     ///< crash at this 1-based communication op
+
+  /// True if the plan can inject any fault at all.
+  [[nodiscard]] bool enabled() const {
+    return drop_prob > 0 || duplicate_prob > 0 || corrupt_prob > 0 ||
+           delay_prob > 0 || crash_rank >= 0;
+  }
+
+  /// Parses a comma-separated spec, e.g.
+  ///   "seed=42,drop=0.1,dup=0.05,corrupt=0.01,delay=0.2,delay-secs=0.005,crash=2@7"
+  /// Unknown keys or malformed values throw MpiError.
+  static FaultPlan parse(const std::string& spec);
+
+  /// Human-readable one-line summary (inverse of parse, modulo defaults).
+  [[nodiscard]] std::string describe() const;
+};
+
+namespace detail {
+
+/// Per-rank deterministic fault stream: decides, per message, which faults
+/// fire. One instance per Comm; never shared across threads.
+class FaultStream {
+ public:
+  FaultStream(const FaultPlan& plan, int rank);
+
+  struct Decision {
+    bool drop = false;
+    bool duplicate = false;
+    bool corrupt = false;
+    double extra_delay = 0.0;
+    size_t corrupt_byte = 0;  ///< index (mod payload size) of the byte to flip
+  };
+
+  /// Draws the fault decision for the next outgoing message.
+  Decision next_send();
+
+  /// True when `rank` must crash at communication op number `op` (1-based).
+  [[nodiscard]] bool crash_now(int rank, uint64_t op) const {
+    return plan_.crash_rank == rank && plan_.crash_at_op == op;
+  }
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  double next_unit();
+
+  FaultPlan plan_;
+  uint64_t state_;
+};
+
+}  // namespace detail
+
+}  // namespace otter::mpi

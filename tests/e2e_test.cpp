@@ -270,8 +270,16 @@ TEST_P(E2e, ErrorBuiltinAborts) {
   ASSERT_TRUE(compiled->ok) << compiled->diags.to_string();
   ExecOptions opts;
   opts.dist = GetParam().dist;
-  EXPECT_THROW(run_parallel(compiled->lir, mpi::ideal(16), GetParam().nranks, opts),
-               rt::RtError);
+  try {
+    run_parallel(compiled->lir, mpi::ideal(16), GetParam().nranks, opts);
+    FAIL() << "expected SpmdFailure";
+  } catch (const mpi::SpmdFailure& e) {
+    // Every rank executes the error() statement, so the aggregated failure
+    // names at least one primary rank with statement context.
+    EXPECT_GE(e.primary_count(), 1u);
+    EXPECT_NE(std::string(e.first().what).find("boom"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST_P(E2e, MiniConjugateGradient) {

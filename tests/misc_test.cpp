@@ -181,7 +181,17 @@ TEST(Exec, RuntimeErrorsPropagateFromRanks) {
   std::string src = "v = 1:4;\nx = v(9);\ndisp(x);";
   auto c = driver::compile_script(src);
   ASSERT_TRUE(c->ok) << c->diags.to_string();
-  EXPECT_THROW(driver::run_parallel(c->lir, mpi::ideal(4), 3), rt::RtError);
+  try {
+    driver::run_parallel(c->lir, mpi::ideal(4), 3);
+    FAIL() << "expected SpmdFailure";
+  } catch (const mpi::SpmdFailure& e) {
+    EXPECT_GE(e.primary_count(), 1u);
+    // The aggregate names the failing rank; the wrapped RtError carries the
+    // failing statement.
+    EXPECT_NE(std::string(e.what()).find("rank "), std::string::npos)
+        << e.what();
+    EXPECT_NE(e.first().what.find("line 2"), std::string::npos) << e.what();
+  }
 }
 
 TEST(Exec, VirtualTimesGrowWithModelledLatency) {

@@ -15,6 +15,11 @@
 //   --no-peephole          disable the peephole pass (paper pass 6)
 //   --seed=N               seed for rand (default 1)
 //   --times                print per-rank virtual times after the run
+//   --fault-plan=SPEC      deterministic fault injection, e.g.
+//                          "seed=42,drop=0.1,crash=2@7" (see minimpi/fault.hpp)
+//   --timeout=SECS         watchdog deadline for a blocked rank (default 30)
+//   --retries=N            re-run a failed SPMD execution up to N extra times
+//                          with virtual-time backoff
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -36,17 +41,21 @@ struct Options {
   bool peephole = true;
   bool times = false;
   uint64_t seed = 1;
+  std::string fault_plan;
+  double timeout = 30.0;
+  int retries = 0;
 };
 
 int usage() {
   std::cerr <<
       "usage: otterc SCRIPT.m [--emit=ast|lir|c] [--run=interp|direct|cc]\n"
       "              [--np=N] [--machine=NAME] [--dist=block|cyclic]\n"
-      "              [--no-peephole] [--seed=N] [--times]\n";
+      "              [--no-peephole] [--seed=N] [--times]\n"
+      "              [--fault-plan=SPEC] [--timeout=SECS] [--retries=N]\n";
   return 2;
 }
 
-bool parse_args(int argc, char** argv, Options& o) {
+bool parse_args(int argc, char** argv, Options& o) try {
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
     auto value = [&](const char* prefix) -> std::optional<std::string> {
@@ -59,6 +68,9 @@ bool parse_args(int argc, char** argv, Options& o) {
     else if (auto v = value("--np=")) o.np = std::stoi(*v);
     else if (auto v = value("--machine=")) o.machine = *v;
     else if (auto v = value("--seed=")) o.seed = std::stoull(*v);
+    else if (auto v = value("--fault-plan=")) o.fault_plan = *v;
+    else if (auto v = value("--timeout=")) o.timeout = std::stod(*v);
+    else if (auto v = value("--retries=")) o.retries = std::stoi(*v);
     else if (auto v = value("--dist=")) {
       o.dist = (*v == "cyclic") ? otter::rt::Dist::Cyclic
                                 : otter::rt::Dist::RowBlock;
@@ -69,11 +81,23 @@ bool parse_args(int argc, char** argv, Options& o) {
     else return false;
   }
   return !o.script_path.empty();
+} catch (const std::exception&) {
+  return false;  // malformed numeric flag value: stoi/stod/stoull threw
 }
 
 std::string dirname_of(const std::string& path) {
   size_t slash = path.find_last_of('/');
   return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+
+/// Structured per-rank failure report for a failed SPMD run.
+void print_failure(const otter::mpi::SpmdFailure& e) {
+  std::cerr << "otterc: " << e.what() << '\n';
+  for (const otter::mpi::RankFailure& f : e.failures()) {
+    std::cerr << "  rank " << f.rank << " ["
+              << (f.primary ? "failed" : "aborted") << ", "
+              << f.ops_completed << " comm ops]: " << f.what << '\n';
+  }
 }
 
 }  // namespace
@@ -130,6 +154,12 @@ int main(int argc, char** argv) {
     otter::driver::ExecOptions eopts;
     eopts.dist = opt.dist;
     eopts.rand_seed = opt.seed;
+    eopts.spmd.watchdog_timeout = opt.timeout;
+    if (!opt.fault_plan.empty()) {
+      eopts.spmd.fault = otter::mpi::FaultPlan::parse(opt.fault_plan);
+      std::cerr << "otterc: fault plan: " << eopts.spmd.fault.describe()
+                << '\n';
+    }
 
     if (opt.run == "cc") {
       std::string error;
@@ -141,11 +171,37 @@ int main(int argc, char** argv) {
       std::ostringstream out;
       auto times = otter::mpi::run_spmd(
           profile, opt.np,
-          [&](otter::mpi::Comm& comm) { program->run(comm, out, eopts); });
+          [&](otter::mpi::Comm& comm) { program->run(comm, out, eopts); },
+          eopts.spmd);
       std::cout << out.str();
       if (opt.times) {
         for (size_t r = 0; r < times.vtimes.size(); ++r) {
           std::cerr << "rank " << r << " vtime " << times.vtimes[r] << "s\n";
+        }
+      }
+      return 0;
+    }
+
+    if (opt.retries > 0) {
+      otter::driver::RetryOptions ropts;
+      ropts.max_attempts = opt.retries + 1;
+      auto rr = otter::driver::run_with_retries(compiled->lir, profile, opt.np,
+                                                eopts, ropts);
+      for (const auto& f : rr.failures) {
+        std::cerr << "otterc: attempt " << f.attempt << " failed: " << f.what
+                  << '\n';
+      }
+      if (!rr.ok) {
+        std::cerr << "otterc: giving up after " << rr.attempts << " attempts\n";
+        return 1;
+      }
+      std::cout << rr.run.output;
+      if (opt.times) {
+        std::cerr << "attempts " << rr.attempts << ", virtual backoff "
+                  << rr.backoff_vtime << "s\n";
+        for (size_t r = 0; r < rr.run.times.vtimes.size(); ++r) {
+          std::cerr << "rank " << r << " vtime " << rr.run.times.vtimes[r]
+                    << "s\n";
         }
       }
       return 0;
@@ -159,6 +215,9 @@ int main(int argc, char** argv) {
       }
     }
     return 0;
+  } catch (const otter::mpi::SpmdFailure& e) {
+    print_failure(e);
+    return 1;
   } catch (const std::exception& e) {
     std::cerr << "otterc: " << e.what() << '\n';
     return 1;
