@@ -86,6 +86,23 @@ inline void ML_display_matrix(Ctx& ctx, const char* name, const rt::DMat& m) {
   if (ctx.comm.rank() == 0) ctx.out << name << " =\n" << body;
 }
 
+/// Run-time check behind a degraded compile-time shape assumption: the
+/// compiler assumed `m` is a matrix (column-wise reduction semantics). A true
+/// vector argument means the assumption was wrong — abort with a coded
+/// diagnostic rather than compute the wrong value.
+inline void ML_shape_check(const rt::DMat& m, const char* what,
+                           unsigned line) {
+  if ((m.rows() == 1 || m.cols() == 1) && m.numel() > 1) {
+    throw rt::RtError(
+        "shape guard failed: the argument of '" + std::string(what) +
+            "' was assumed to be a matrix at compile time but is a " +
+            std::to_string(m.rows()) + "x" + std::to_string(m.cols()) +
+            " vector at run time (recompile with --strict-infer to reject "
+            "this program statically)",
+        SourceLoc{0, static_cast<uint32_t>(line), 0}, "E5003");
+  }
+}
+
 inline void ML_disp_scalar(Ctx& ctx, double v) {
   if (ctx.comm.rank() != 0) return;
   char buf[64];

@@ -43,9 +43,13 @@ class Executor {
       declare(frame, prog_.script_vars);
       exec_body(prog_.script, frame);
     } catch (const rt::RtError& e) {
-      // Attach the failing statement; the rank is attributed by run_spmd's
-      // per-rank aggregation, so repeating it here would double up.
-      throw rt::RtError(statement_context() + e.what());
+      // Attach the failing statement + source location; the rank is
+      // attributed by run_spmd's per-rank aggregation, so repeating it here
+      // would double up.
+      SourceLoc loc = e.loc.valid() ? e.loc
+                      : cur_ != nullptr ? cur_->loc
+                                        : SourceLoc{};
+      throw rt::RtError(statement_context() + e.what(), loc, e.code);
     }
   }
 
@@ -442,6 +446,25 @@ class Executor {
       case LOp::ErrorOp:
         fail(in.args.empty() || !in.args[0].is_string ? "error"
                                                       : in.args[0].str);
+      case LOp::ShapeGuard: {
+        // Backs a graceful-inference assumption: the compiler assumed a
+        // column-wise (matrix) reduction; abort with a coded error if the
+        // argument is actually a vector at run time.
+        const DMat& m = operand_mat(in.args[0], f);
+        std::string what = in.args.size() > 1 && in.args[1].is_string
+                               ? in.args[1].str
+                               : "reduction";
+        if ((m.rows() == 1 || m.cols() == 1) && m.numel() > 1) {
+          throw rt::RtError(
+              "shape guard failed: the argument of '" + what +
+                  "' was assumed to be a matrix at compile time but is a " +
+                  std::to_string(m.rows()) + "x" + std::to_string(m.cols()) +
+                  " vector at run time (recompile with --strict-infer to "
+                  "reject this program statically)",
+              in.loc, "E5003");
+        }
+        return Flow::Normal;
+      }
       case LOp::IfOp: {
         for (const lower::LIfArm& arm : in.arms) {
           if (!arm.cond || eval_scalar(*arm.cond, f) != 0.0) {

@@ -13,17 +13,34 @@ namespace otter::driver {
 std::unique_ptr<CompileResult> compile_script(
     const std::string& source, const sema::MFileLoader& loader,
     const lower::LowerOptions& opts) {
+  CompileOptions copts;
+  copts.lower = opts;
+  return compile_script(source, loader, copts);
+}
+
+std::unique_ptr<CompileResult> compile_script(const std::string& source,
+                                              const sema::MFileLoader& loader,
+                                              const CompileOptions& opts) {
   auto r = std::make_unique<CompileResult>();
-  ParsedFile f = parse_string(source, r->sm, r->diags, "<script>");
+  r->diags.set_max_errors(opts.max_errors);
+  // One gate per compilation: every pass shares the wall-clock deadline and
+  // the structural limits, so pathological inputs degrade to a diagnostic.
+  BudgetGate gate(opts.budget);
+  ParsedFile f = parse_string(source, r->sm, r->diags, "<script>", &gate);
   if (r->diags.has_errors()) return r;
   r->prog.script = std::move(f.script);
   for (auto& fn : f.functions) {
     r->prog.functions.emplace(fn->name, std::move(fn));
   }
   if (!sema::resolve_program(r->prog, r->sm, r->diags, loader)) return r;
-  r->inf = sema::infer_program(r->prog, r->diags);
+  sema::InferOptions iopts;
+  iopts.strict = opts.strict_infer;
+  iopts.budget = &gate;
+  r->inf = sema::infer_program(r->prog, r->diags, iopts);
   if (r->diags.has_errors()) return r;
-  r->lir = lower::lower_program(r->prog, r->inf, r->diags, opts);
+  lower::LowerOptions lopts = opts.lower;
+  lopts.budget = &gate;
+  r->lir = lower::lower_program(r->prog, r->inf, r->diags, lopts);
   r->ok = !r->diags.has_errors();
   return r;
 }

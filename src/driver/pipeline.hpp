@@ -24,11 +24,26 @@ struct CompileResult {
   bool ok = false;
 };
 
+/// Full compile configuration: pass options plus the crash-safety knobs
+/// (resource budgets, strict-inference mode, and the diagnostic cap).
+struct CompileOptions {
+  lower::LowerOptions lower;
+  CompileBudget budget;      ///< resource limits shared by every pass
+  bool strict_infer = false; ///< unresolvable shapes are errors, not guards
+  size_t max_errors = 0;     ///< cap stored error diagnostics (0 = unlimited)
+};
+
 /// Compiles a MATLAB script through every pass. `loader` supplies user
 /// M-files (see dir_loader). Check `->ok` / `->diags` before using `lir`.
 std::unique_ptr<CompileResult> compile_script(
     const std::string& source, const sema::MFileLoader& loader = {},
     const lower::LowerOptions& opts = {});
+
+/// Overload taking the full configuration (budgets, strict inference,
+/// error cap). The LowerOptions overload forwards here with defaults.
+std::unique_ptr<CompileResult> compile_script(const std::string& source,
+                                              const sema::MFileLoader& loader,
+                                              const CompileOptions& opts);
 
 /// M-file loader that searches `dir` for `<name>.m`.
 sema::MFileLoader dir_loader(const std::string& dir);

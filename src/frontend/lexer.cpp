@@ -146,6 +146,25 @@ Token Lexer::next() {
     char c = peek();
     if (c == ' ' || c == '\t' || c == '\r') {
       advance();
+    } else if (c == '%' && peek(1) == '{') {
+      // Block comment %{ ... %}. Unterminated at EOF is a located error
+      // rather than silently swallowing the rest of the file.
+      SourceLoc start = loc_here();
+      advance();
+      advance();
+      bool closed = false;
+      while (!at_end()) {
+        if (peek() == '%' && peek(1) == '}') {
+          advance();
+          advance();
+          closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!closed) {
+        diags_.error("E1103", start, "unterminated block comment '%{'");
+      }
     } else if (c == '%') {
       while (!at_end() && peek() != '\n') advance();
     } else if (c == '.' && peek(1) == '.' && peek(2) == '.') {
@@ -243,7 +262,7 @@ Token Lexer::next() {
         --col_;
         t = lex_number();
       } else {
-        diags_.error(loc, "unexpected character '.'");
+        diags_.error("E1101", loc, "unexpected character '.'");
         t = make(Tok::Newline, begin);
       }
       break;
@@ -266,7 +285,8 @@ Token Lexer::next() {
         --col_;
         t = lex_ident_or_keyword();
       } else {
-        diags_.error(loc, std::string("unexpected character '") + c + "'");
+        diags_.error("E1101", loc,
+                     std::string("unexpected character '") + c + "'");
         t = make(Tok::Newline, begin);
       }
       break;
@@ -334,7 +354,7 @@ Token Lexer::lex_string() {
   std::string value;
   for (;;) {
     if (at_end() || peek() == '\n') {
-      diags_.error(start, "unterminated string literal");
+      diags_.error("E1102", start, "unterminated string literal");
       break;
     }
     char c = advance();

@@ -6,9 +6,50 @@
 
 namespace otter {
 
-Parser::Parser(std::vector<Token> tokens, DiagEngine& diags)
-    : toks_(std::move(tokens)), diags_(diags) {
+Parser::Parser(std::vector<Token> tokens, DiagEngine& diags, BudgetGate* budget)
+    : toks_(std::move(tokens)), diags_(diags), budget_(budget) {
   assert(!toks_.empty() && toks_.back().kind == Tok::Eof);
+}
+
+bool Parser::enter_depth() {
+  ++depth_;
+  ++nodes_;
+  if (budget_blown_) return false;
+  if (budget_ != nullptr) {
+    const CompileBudget& b = budget_->limits();
+    if (b.max_nesting_depth > 0 && depth_ > b.max_nesting_depth) {
+      blow_budget("E0002", peek().loc,
+                  "expression/statement nesting exceeds the compile budget (" +
+                      std::to_string(b.max_nesting_depth) + " levels)");
+      return false;
+    }
+    if (b.max_ast_nodes > 0 && nodes_ > b.max_ast_nodes) {
+      blow_budget("E0003", peek().loc,
+                  "program too large: AST node budget exceeded (" +
+                      std::to_string(b.max_ast_nodes) + " nodes)");
+      return false;
+    }
+    if (budget_->expired_every(ticks_)) {
+      blow_budget("E0004", peek().loc,
+                  "compilation wall-clock budget exceeded while parsing");
+      return false;
+    }
+  }
+  return true;
+}
+
+void Parser::blow_budget(const char* code, SourceLoc loc, std::string msg) {
+  budget_blown_ = true;
+  diags_.error(code, loc, std::move(msg));
+  pos_ = toks_.size() - 1;  // jump to EOF so every parse loop unwinds
+}
+
+bool Parser::bail() {
+  if (budget_blown_ || diags_.at_error_limit()) {
+    pos_ = toks_.size() - 1;
+    return true;
+  }
+  return false;
 }
 
 const Token& Parser::peek(size_t ahead) const {
@@ -33,8 +74,9 @@ bool Parser::match(Tok k) {
 
 bool Parser::expect(Tok k, const char* context) {
   if (match(k)) return true;
-  diags_.error(peek().loc, std::string("expected ") + tok_name(k) + " " +
-                               context + ", found " + tok_name(peek().kind));
+  diags_.error("E2001", peek().loc,
+               std::string("expected ") + tok_name(k) + " " + context +
+                   ", found " + tok_name(peek().kind));
   return false;
 }
 
@@ -58,13 +100,13 @@ ParsedFile Parser::parse_file() {
       if (fn) out.functions.push_back(std::move(fn));
       skip_newlines();
     }
-    if (!check(Tok::Eof)) {
-      diags_.error(peek().loc,
+    if (!check(Tok::Eof) && !bail()) {
+      diags_.error("E2005", peek().loc,
                    "statements after a function definition must belong to "
                    "another function");
     }
   } else {
-    while (!check(Tok::Eof)) {
+    while (!check(Tok::Eof) && !bail()) {
       StmtPtr s = parse_statement();
       if (s) out.script.push_back(std::move(s));
       skip_newlines();
@@ -86,7 +128,7 @@ std::unique_ptr<Function> Parser::parse_function() {
     if (!check(Tok::RBracket)) {
       do {
         if (!check(Tok::Ident)) {
-          diags_.error(peek().loc, "expected output parameter name");
+          diags_.error("E2002", peek().loc, "expected output parameter name");
           break;
         }
         fn->outs.emplace_back(advance().text);
@@ -95,21 +137,21 @@ std::unique_ptr<Function> Parser::parse_function() {
     expect(Tok::RBracket, "after output parameter list");
     expect(Tok::Assign, "after output parameter list");
     if (!check(Tok::Ident)) {
-      diags_.error(peek().loc, "expected function name");
+      diags_.error("E2003", peek().loc, "expected function name");
       return nullptr;
     }
     fn->name = peek().text;
     advance();
   } else {
     if (!check(Tok::Ident)) {
-      diags_.error(peek().loc, "expected function name");
+      diags_.error("E2003", peek().loc, "expected function name");
       return nullptr;
     }
     std::string first(advance().text);
     if (match(Tok::Assign)) {
       fn->outs.push_back(std::move(first));
       if (!check(Tok::Ident)) {
-        diags_.error(peek().loc, "expected function name after '='");
+        diags_.error("E2003", peek().loc, "expected function name after '='");
         return nullptr;
       }
       fn->name = peek().text;
@@ -123,7 +165,7 @@ std::unique_ptr<Function> Parser::parse_function() {
     if (!check(Tok::RParen)) {
       do {
         if (!check(Tok::Ident)) {
-          diags_.error(peek().loc, "expected parameter name");
+          diags_.error("E2004", peek().loc, "expected parameter name");
           break;
         }
         fn->params.emplace_back(advance().text);
@@ -157,7 +199,7 @@ bool Parser::at_block_end() const {
 std::vector<StmtPtr> Parser::parse_block() {
   std::vector<StmtPtr> body;
   skip_newlines();
-  while (!at_block_end()) {
+  while (!at_block_end() && !bail()) {
     StmtPtr s = parse_statement();
     if (s) body.push_back(std::move(s));
     skip_newlines();
@@ -166,6 +208,8 @@ std::vector<StmtPtr> Parser::parse_block() {
 }
 
 StmtPtr Parser::parse_statement() {
+  DepthGuard guard(*this);
+  if (!guard.ok()) return nullptr;
   skip_newlines();
   switch (peek().kind) {
     case Tok::KwIf: return parse_if();
@@ -176,7 +220,8 @@ StmtPtr Parser::parse_statement() {
       SourceLoc loc = advance().loc;
       auto s = std::make_unique<Stmt>(StmtKind::Break, loc);
       if (!peek().is_terminator()) {
-        diags_.error(peek().loc, "expected end of statement after 'break'");
+        diags_.error("E2006", peek().loc,
+                     "expected end of statement after 'break'");
         sync_to_statement_end();
       }
       return s;
@@ -234,7 +279,7 @@ StmtPtr Parser::parse_for() {
   SourceLoc loc = advance().loc;
   auto s = std::make_unique<Stmt>(StmtKind::For, loc);
   if (!check(Tok::Ident)) {
-    diags_.error(peek().loc, "expected loop variable after 'for'");
+    diags_.error("E2007", peek().loc, "expected loop variable after 'for'");
     sync_to_statement_end();
     return nullptr;
   }
@@ -255,7 +300,7 @@ StmtPtr Parser::parse_global() {
     if (!match(Tok::Comma)) break;
   }
   if (s->names.empty()) {
-    diags_.error(loc, "expected variable names after 'global'");
+    diags_.error("E2008", loc, "expected variable names after 'global'");
   }
   return s;
 }
@@ -328,7 +373,7 @@ std::optional<LValue> Parser::expr_to_lvalue(ExprPtr e) {
     lv.indices = std::move(e->args);
     return lv;
   }
-  diags_.error(e->loc, "invalid assignment target");
+  diags_.error("E2009", e->loc, "invalid assignment target");
   return std::nullopt;
 }
 
@@ -437,17 +482,17 @@ ExprPtr Parser::parse_multiplicative() {
 
 ExprPtr Parser::parse_unary() {
   switch (peek().kind) {
-    case Tok::Minus: {
-      SourceLoc loc = advance().loc;
-      return make_unary(UnOp::Neg, parse_unary(), loc);
-    }
-    case Tok::Plus: {
-      SourceLoc loc = advance().loc;
-      return make_unary(UnOp::Plus, parse_unary(), loc);
-    }
+    case Tok::Minus:
+    case Tok::Plus:
     case Tok::Tilde: {
+      // Direct recursion (-----x chains): depth-guarded.
+      DepthGuard guard(*this);
+      if (!guard.ok()) return make_number(0, true, peek().loc);
+      UnOp op = check(Tok::Minus) ? UnOp::Neg
+                : check(Tok::Plus) ? UnOp::Plus
+                                   : UnOp::Not;
       SourceLoc loc = advance().loc;
-      return make_unary(UnOp::Not, parse_unary(), loc);
+      return make_unary(op, parse_unary(), loc);
     }
     default:
       return parse_power();
@@ -495,7 +540,7 @@ ExprPtr Parser::parse_postfix() {
       expect(Tok::RParen, "after argument list");
       e = std::move(call);
     } else if (check(Tok::LParen) && e->kind == ExprKind::Call) {
-      diags_.error(peek().loc,
+      diags_.error("E2010", peek().loc,
                    "chained indexing f(x)(y) is not supported by Otter");
       advance();
       parse_index_args();
@@ -525,6 +570,15 @@ std::vector<ExprPtr> Parser::parse_index_args() {
 }
 
 ExprPtr Parser::parse_primary() {
+  // All expression recursion passes through a primary (parenthesised
+  // expressions, matrix literals, index lists), so one guard here bounds
+  // the whole expression grammar.
+  DepthGuard guard(*this);
+  if (!guard.ok()) return make_number(0, true, peek().loc);
+  return parse_primary_inner();
+}
+
+ExprPtr Parser::parse_primary_inner() {
   const Token& t = peek();
   switch (t.kind) {
     case Tok::IntLit:
@@ -553,7 +607,8 @@ ExprPtr Parser::parse_primary() {
         advance();
         return std::make_unique<Expr>(ExprKind::End, t.loc);
       }
-      diags_.error(t.loc, "'end' is only valid inside an index expression");
+      diags_.error("E2011", t.loc,
+                   "'end' is only valid inside an index expression");
       advance();
       return make_number(0, true, t.loc);
     }
@@ -568,8 +623,9 @@ ExprPtr Parser::parse_primary() {
     case Tok::LBracket:
       return parse_matrix_literal();
     default:
-      diags_.error(t.loc, std::string("expected an expression, found ") +
-                              tok_name(t.kind));
+      diags_.error("E2012", t.loc,
+                   std::string("expected an expression, found ") +
+                       tok_name(t.kind));
       advance();
       return make_number(0, true, t.loc);
   }
@@ -581,7 +637,7 @@ ExprPtr Parser::parse_matrix_literal() {
   auto m = std::make_unique<Expr>(ExprKind::Matrix, loc);
   std::vector<ExprPtr> row;
   skip_newlines();
-  while (!check(Tok::RBracket) && !check(Tok::Eof)) {
+  while (!check(Tok::RBracket) && !check(Tok::Eof) && !bail()) {
     row.push_back(parse_expr());
     if (match(Tok::Comma)) {
       skip_newlines();
@@ -596,7 +652,7 @@ ExprPtr Parser::parse_matrix_literal() {
       continue;
     }
     if (!check(Tok::RBracket)) {
-      diags_.error(peek().loc,
+      diags_.error("E2013", peek().loc,
                    "matrix elements must be separated by commas (Otter does "
                    "not support white-space delimiters)");
       break;
@@ -613,11 +669,12 @@ ExprPtr Parser::parse_expression_only() {
 }
 
 ParsedFile parse_string(const std::string& text, SourceManager& sm,
-                        DiagEngine& diags, const std::string& name) {
+                        DiagEngine& diags, const std::string& name,
+                        BudgetGate* budget) {
   uint32_t file = sm.add_buffer(name, text);
   diags.attach(&sm);
   Lexer lexer(sm, file, diags);
-  Parser parser(lexer.lex_all(), diags);
+  Parser parser(lexer.lex_all(), diags, budget);
   return parser.parse_file();
 }
 

@@ -11,6 +11,7 @@
 
 #include "frontend/ast.hpp"
 #include "frontend/token.hpp"
+#include "support/budget.hpp"
 #include "support/diag.hpp"
 
 namespace otter {
@@ -23,7 +24,8 @@ struct ParsedFile {
 
 class Parser {
  public:
-  Parser(std::vector<Token> tokens, DiagEngine& diags);
+  Parser(std::vector<Token> tokens, DiagEngine& diags,
+         BudgetGate* budget = nullptr);
 
   ParsedFile parse_file();
 
@@ -68,17 +70,41 @@ class Parser {
   ExprPtr parse_power();
   ExprPtr parse_postfix();
   ExprPtr parse_primary();
+  ExprPtr parse_primary_inner();
   ExprPtr parse_matrix_literal();
   std::vector<ExprPtr> parse_index_args();
+
+  // resource guards -----------------------------------------------------------
+  // Recursion-depth + node-count + wall-clock budget, checked at the
+  // recursion points (statements, primaries, unary chains) so hostile
+  // inputs degrade to an E0xxx diagnostic instead of a stack overflow.
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : p_(p), ok_(p.enter_depth()) {}
+    ~DepthGuard() { --p_.depth_; }
+    [[nodiscard]] bool ok() const { return ok_; }
+    Parser& p_;
+    bool ok_;
+  };
+  bool enter_depth();
+  void blow_budget(const char* code, SourceLoc loc, std::string msg);
+  /// True when parsing should give up entirely (budget blown or the
+  /// --max-errors cap reached); jumps the cursor to EOF.
+  bool bail();
 
   std::vector<Token> toks_;
   size_t pos_ = 0;
   DiagEngine& diags_;
+  BudgetGate* budget_ = nullptr;
   int index_depth_ = 0;   // >0 while parsing a(...) index list: ':'/'end' legal
+  int depth_ = 0;         // statement + expression recursion depth
+  size_t nodes_ = 0;      // AST nodes created so far
+  size_t ticks_ = 0;      // amortized wall-clock check counter
+  bool budget_blown_ = false;
 };
 
 /// Convenience: lex + parse a string as a script. Used heavily by tests.
 ParsedFile parse_string(const std::string& text, SourceManager& sm,
-                        DiagEngine& diags, const std::string& name = "<input>");
+                        DiagEngine& diags, const std::string& name = "<input>",
+                        BudgetGate* budget = nullptr);
 
 }  // namespace otter

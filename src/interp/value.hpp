@@ -24,12 +24,15 @@ namespace otter::interp {
 /// Runtime error carrying a source location for diagnostics.
 class InterpError : public std::runtime_error {
  public:
-  InterpError(SourceLoc loc, const std::string& msg)
-      : std::runtime_error(msg), loc_(loc) {}
+  InterpError(SourceLoc loc, const std::string& msg,
+              std::string diag_code = "E5002")
+      : std::runtime_error(msg), loc_(loc), code_(std::move(diag_code)) {}
   [[nodiscard]] SourceLoc loc() const { return loc_; }
+  [[nodiscard]] const std::string& code() const { return code_; }
 
  private:
   SourceLoc loc_;
+  std::string code_;
 };
 
 /// Dense 2-D matrix. Row-major storage (matching the run-time library's

@@ -242,6 +242,7 @@ void dump_instr(const LInstr& in, std::ostream& os, int indent) {
     case LOp::DispOp: args("ML_disp"); break;
     case LOp::FprintfOp: args("ML_fprintf"); break;
     case LOp::ErrorOp: args("ML_error"); break;
+    case LOp::ShapeGuard: args("ML_shape_check"); break;
     case LOp::IfOp:
       os << "if\n";
       for (const LIfArm& arm : in.arms) {
@@ -345,6 +346,7 @@ const char* lop_name(LOp op) {
     case LOp::DispOp: return "disp";
     case LOp::FprintfOp: return "fprintf";
     case LOp::ErrorOp: return "error";
+    case LOp::ShapeGuard: return "shape-guard";
     case LOp::IfOp: return "if";
     case LOp::WhileOp: return "while";
     case LOp::ForOp: return "for";

@@ -108,6 +108,9 @@ enum class LOp {
   DispOp,        // disp(operand)
   FprintfOp,     // fprintf(fmt, operands…)
   ErrorOp,       // abort with message
+  ShapeGuard,    // validate a degraded inference assumption at run time:
+                 // args[0] matrix, args[1] the builtin name; aborts with a
+                 // coded E5003 RtError when the shape assumption is wrong
   // Structured control flow.
   IfOp, WhileOp, ForOp, BreakOp, ContinueOp, ReturnOp,
 };

@@ -84,11 +84,47 @@ class Lowerer {
     }
   }
 
-  void err(SourceLoc loc, const std::string& msg) { diags_.error(loc, msg); }
+  void err(const char* code, SourceLoc loc, const std::string& msg) {
+    diags_.error(code, loc, msg);
+  }
+
+  /// Budget accounting shared by emit() and emit_with(): every appended
+  /// instruction counts toward the LIR budget, and the wall clock is
+  /// checked on an amortized stride.
+  void note_emit(SourceLoc loc) {
+    ++instrs_;
+    if (opts_.budget == nullptr || budget_reported_) return;
+    size_t cap = opts_.budget->limits().max_lir_instrs;
+    if (cap > 0 && instrs_ > cap) {
+      budget_reported_ = true;
+      diags_.error("E0007", loc,
+                   "program exceeds the LIR instruction budget (" +
+                       std::to_string(cap) + " instructions)");
+    } else if (opts_.budget->expired_every(ticks_)) {
+      budget_reported_ = true;
+      diags_.error("E0004", loc,
+                   "compilation exceeded the wall-clock budget during "
+                   "lowering");
+    }
+  }
 
   LInstr& emit(LOp op, SourceLoc loc = {}) {
+    note_emit(loc);
     cur_body_->push_back(std::make_unique<LInstr>(op, loc));
     return *cur_body_->back();
+  }
+
+  /// Emits a runtime shape check before a reduction whose operand shape the
+  /// inferencer could not prove (graceful degradation): if the degraded
+  /// assumption (matrix => column-wise semantics) turns out wrong at run
+  /// time, the check aborts with a coded diagnostic instead of letting the
+  /// program silently compute the wrong value.
+  void maybe_emit_shape_guard(const Expr& e, const std::string& mat) {
+    auto it = inf_.guards.find(&e);
+    if (it == inf_.guards.end()) return;
+    LInstr& g = emit(LOp::ShapeGuard, e.loc);
+    g.args.push_back(mat_operand(mat));
+    g.args.push_back(string_operand(it->second.builtin));
   }
 
   /// Builds an instruction via `fill` BEFORE appending it, so that operand
@@ -96,6 +132,7 @@ class Lowerer {
   /// subexpressions must precede their consumer).
   template <typename Fill>
   LInstr& emit_with(LOp op, SourceLoc loc, Fill&& fill) {
+    note_emit(loc);
     auto in = std::make_unique<LInstr>(op, loc);
     fill(*in);
     cur_body_->push_back(std::move(in));
@@ -155,13 +192,13 @@ class Lowerer {
     switch (e.kind) {
       case ExprKind::Number:
         if (e.is_imaginary) {
-          err(e.loc, "complex values are not supported by the Otter parallel "
+          err("E4001", e.loc, "complex values are not supported by the Otter parallel "
                      "run-time (interpreter only)");
           return limm(0);
         }
         return limm(e.number);
       case ExprKind::String:
-        err(e.loc, "string value used in a numeric context");
+        err("E4002", e.loc, "string value used in a numeric context");
         return limm(0);
       case ExprKind::Ident:
         return lower_scalar_ident(e);
@@ -181,11 +218,11 @@ class Lowerer {
       case ExprKind::Call:
         return lower_scalar_call(e);
       case ExprKind::Matrix:
-        err(e.loc, "matrix literal in scalar context");
+        err("E4003", e.loc, "matrix literal in scalar context");
         return limm(0);
       case ExprKind::Colon:
       case ExprKind::End:
-        err(e.loc, "':'/'end' outside an index");
+        err("E4004", e.loc, "':'/'end' outside an index");
         return limm(0);
     }
     return limm(0);
@@ -220,7 +257,7 @@ class Lowerer {
       return r;
     }
     if (e.name == "i" || e.name == "j") {
-      err(e.loc, "complex values are not supported by the Otter parallel "
+      err("E4001", e.loc, "complex values are not supported by the Otter parallel "
                  "run-time (interpreter only)");
     }
     return limm(0);
@@ -283,7 +320,7 @@ class Lowerer {
       in.dst = m;
       in.tree = std::move(tree);
     } else {
-      err(e.loc, "unsupported scalar expression over matrix operands");
+      err("E4005", e.loc, "unsupported scalar expression over matrix operands");
       return limm(0);
     }
     std::string t = fresh_temp(false);
@@ -352,7 +389,7 @@ class Lowerer {
             return lquery(*d == 1.0 ? LExpr::Kind::RowsOf : LExpr::Kind::ColsOf,
                           base);
           }
-          err(e.loc, "size(m, d) requires a constant dimension");
+          err("E4006", e.loc, "size(m, d) requires a constant dimension");
           return limm(0);
         }
         return lquery(LExpr::Kind::RowsOf, base);
@@ -376,6 +413,7 @@ class Lowerer {
         }
         if (ty(*e.args[0]).is_scalar()) return arg_scalar(0);
         std::string m = lower_matrix(*e.args[0]);
+        maybe_emit_shape_guard(e, m);
         std::string t = fresh_temp(false);
         LInstr& in = emit(LOp::Reduce, e.loc);
         in.sdst = t;
@@ -444,7 +482,7 @@ class Lowerer {
         return r;
       }
       default:
-        err(e.loc, "builtin '" + e.name + "' is not supported in this "
+        err("E4007", e.loc, "builtin '" + e.name + "' is not supported in this "
                    "context by the Otter compiler");
         return limm(0);
     }
@@ -488,7 +526,7 @@ class Lowerer {
           case BinOp::MatDiv:
           case BinOp::ElemDiv: op = EwBin::Div; break;
           default:
-            err(e.loc, "unsupported arithmetic around 'end'");
+            err("E4008", e.loc, "unsupported arithmetic around 'end'");
             break;
         }
         return lbin(op, std::move(a), std::move(b));
@@ -546,7 +584,7 @@ class Lowerer {
           in.args.push_back(mat_operand(t));
           return dst_hint;
         }
-        err(e.loc, "unsupported matrix-valued name '" + e.name + "'");
+        err("E4009", e.loc, "unsupported matrix-valued name '" + e.name + "'");
         return fresh_temp(true);
       case ExprKind::Unary:
       case ExprKind::Binary: {
@@ -582,7 +620,7 @@ class Lowerer {
           std::vector<LExprPtr> lrow;
           for (const ExprPtr& el : row) {
             if (!ty(*el).is_scalar()) {
-              err(el->loc, "matrix blocks inside literals are not supported "
+              err("E4010", el->loc, "matrix blocks inside literals are not supported "
                            "by the Otter compiler (use explicit assignment)");
               lrow.push_back(limm(0));
             } else {
@@ -596,7 +634,7 @@ class Lowerer {
         return dst;
       }
       default:
-        err(e.loc, "expression is not supported in matrix context");
+        err("E4011", e.loc, "expression is not supported in matrix context");
         return fresh_temp(true);
     }
   }
@@ -720,7 +758,7 @@ class Lowerer {
           case Builtin::Conj:
             return build_child(*e.args[0]);
           default:
-            err(e.loc, "builtin '" + e.name + "' inside an element-wise "
+            err("E4012", e.loc, "builtin '" + e.name + "' inside an element-wise "
                        "expression is not supported");
             return limm(0);
         }
@@ -744,7 +782,7 @@ class Lowerer {
     }
     // Binary matrix multiply (the only non-element-wise binary left).
     if (e.bin_op != BinOp::MatMul) {
-      err(e.loc, std::string("operator '") + bin_op_name(e.bin_op) +
+      err("E4013", e.loc, std::string("operator '") + bin_op_name(e.bin_op) +
                      "' on matrices is not supported by the Otter compiler");
       return dst;
     }
@@ -828,6 +866,7 @@ class Lowerer {
         }
         // Column-wise reduction of a matrix producing a row vector.
         std::string src = lower_matrix(*e.args[0]);
+        maybe_emit_shape_guard(e, src);
         LInstr& in = emit(LOp::Colwise, e.loc);
         in.dst = dst;
         in.args.push_back(mat_operand(src));
@@ -863,7 +902,7 @@ class Lowerer {
           in.tree = std::move(tree);
           return dst;
         }
-        err(e.loc, "builtin '" + e.name + "' producing a matrix is not "
+        err("E4014", e.loc, "builtin '" + e.name + "' producing a matrix is not "
                    "supported by the Otter compiler");
         return dst;
       }
@@ -877,7 +916,7 @@ class Lowerer {
     if (e.args.size() == 1) {
       const Expr& ix = *e.args[0];
       if (ix.kind == ExprKind::Colon) {
-        err(e.loc, "a(:) reshape is not supported by the Otter compiler");
+        err("E4015", e.loc, "a(:) reshape is not supported by the Otter compiler");
         return dst;
       }
       if (ix.kind == ExprKind::Range && !ix.step) {
@@ -891,7 +930,7 @@ class Lowerer {
         });
         return dst;
       }
-      err(e.loc, "general vector-subscript indexing is not supported by the "
+      err("E4016", e.loc, "general vector-subscript indexing is not supported by the "
                  "Otter compiler (only contiguous ranges)");
       return dst;
     }
@@ -914,7 +953,7 @@ class Lowerer {
       });
       return dst;
     }
-    err(e.loc, "submatrix indexing is not supported by the Otter compiler "
+    err("E4017", e.loc, "submatrix indexing is not supported by the Otter compiler "
                "(only a(i,:), a(:,j), and contiguous vector ranges)");
     return dst;
   }
@@ -923,7 +962,7 @@ class Lowerer {
   std::vector<std::string> lower_user_call(const Expr& e, size_t nargout) {
     auto iit = inf_.call_instance.find(&e);
     if (iit == inf_.call_instance.end()) {
-      err(e.loc, "internal: no inferred instance for call to '" + e.name + "'");
+      err("E4018", e.loc, "internal: no inferred instance for call to '" + e.name + "'");
       return {fresh_temp(false)};
     }
     const sema::FnInstance& inst = inf_.instances.at(iit->second);
@@ -1039,7 +1078,7 @@ class Lowerer {
       }
       case StmtKind::For: {
         if (s.expr->kind != ExprKind::Range) {
-          err(s.loc, "the Otter compiler only supports for loops over ranges");
+          err("E4019", s.loc, "the Otter compiler only supports for loops over ranges");
           return;
         }
         auto in = std::make_unique<LInstr>(LOp::ForOp, s.loc);
@@ -1068,7 +1107,7 @@ class Lowerer {
         emit(LOp::ReturnOp, s.loc);
         return;
       case StmtKind::Global:
-        err(s.loc, "'global' is not supported by the Otter compiler");
+        err("E4020", s.loc, "'global' is not supported by the Otter compiler");
         return;
     }
   }
@@ -1120,7 +1159,7 @@ class Lowerer {
         std::vector<LOperand> fargs;
         for (const ExprPtr& a : e.args) fargs.push_back(operand_of(*a));
         if (fargs.empty() || !fargs[0].is_string) {
-          err(e.loc, "fprintf requires a literal format string");
+          err("E4021", e.loc, "fprintf requires a literal format string");
         }
         LInstr& in = emit(LOp::FprintfOp, e.loc);
         in.args = std::move(fargs);
@@ -1135,7 +1174,7 @@ class Lowerer {
         return;
       }
       default:
-        err(e.loc, "builtin '" + e.name + "' is not supported as a statement");
+        err("E4022", e.loc, "builtin '" + e.name + "' is not supported as a statement");
     }
   }
 
@@ -1153,7 +1192,7 @@ class Lowerer {
     // Multi-assign from a call.
     if (s.targets.size() > 1) {
       if (s.expr->kind != ExprKind::Call) {
-        err(s.loc, "multiple assignment requires a function call");
+        err("E4023", s.loc, "multiple assignment requires a function call");
         return;
       }
       if (s.expr->callee == CalleeKind::Builtin && s.expr->name == "size") {
@@ -1170,7 +1209,7 @@ class Lowerer {
         return;
       }
       if (s.expr->callee != CalleeKind::UserFunction) {
-        err(s.loc, "multi-output builtins other than size are not supported");
+        err("E4024", s.loc, "multi-output builtins other than size are not supported");
         return;
       }
       std::vector<std::string> dsts = lower_user_call(*s.expr, s.targets.size());
@@ -1195,7 +1234,7 @@ class Lowerer {
   void copy_into_target(const LValue& t, const std::string& src,
                         SourceLoc loc) {
     if (!t.indices.empty()) {
-      err(loc, "indexed targets in multi-assignment are not supported");
+      err("E4025", loc, "indexed targets in multi-assignment are not supported");
       return;
     }
     if (storage_of(t.name).is_matrix()) {
@@ -1227,7 +1266,7 @@ class Lowerer {
   void lower_indexed_assign(const LValue& t, const Expr& rhs, SourceLoc loc) {
     const std::string& base = t.name;
     if (!storage_of(base).is_matrix()) {
-      err(loc, "internal: indexed write into scalar storage '" + base + "'");
+      err("E4026", loc, "internal: indexed write into scalar storage '" + base + "'");
       return;
     }
     // Row/column/slice writes take a vector rhs.
@@ -1251,7 +1290,7 @@ class Lowerer {
         return;
       }
       if (i0.kind == ExprKind::Colon && i1.kind == ExprKind::Colon) {
-        err(loc, "a(:,:) assignment is not supported");
+        err("E4027", loc, "a(:,:) assignment is not supported");
         return;
       }
       // Scalar element write with owner guard.
@@ -1277,11 +1316,11 @@ class Lowerer {
       return;
     }
     if (ix.kind == ExprKind::Colon) {
-      err(loc, "a(:) assignment is not supported by the Otter compiler");
+      err("E4028", loc, "a(:) assignment is not supported by the Otter compiler");
       return;
     }
     if (!ty(rhs).is_scalar()) {
-      err(loc, "vector-subscript assignment is not supported by the Otter "
+      err("E4029", loc, "vector-subscript assignment is not supported by the Otter "
                "compiler (only contiguous ranges)");
       return;
     }
@@ -1302,6 +1341,9 @@ class Lowerer {
   std::vector<LInstrPtr>* cur_body_ = nullptr;
   std::vector<LVarDecl> extra_locals_;
   int temps_ = 0;
+  size_t instrs_ = 0;       // LIR instructions emitted (budget E0007)
+  size_t ticks_ = 0;        // amortised wall-clock check counter
+  bool budget_reported_ = false;
 };
 
 }  // namespace

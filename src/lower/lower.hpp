@@ -4,6 +4,7 @@
 #include "frontend/ast.hpp"
 #include "lower/lir.hpp"
 #include "sema/infer.hpp"
+#include "support/budget.hpp"
 #include "support/diag.hpp"
 
 namespace otter::lower {
@@ -13,6 +14,9 @@ struct LowerOptions {
   /// such as transpose + multiply + element-read into single ML_dot calls.
   /// Disabled by the peephole ablation benchmark.
   bool peephole = true;
+  /// Shared per-compilation resource gate; lowering stops emitting once the
+  /// LIR instruction or wall-clock budget is exhausted. May be null.
+  BudgetGate* budget = nullptr;
 };
 
 /// Lowers the resolved, inferred program into LIR. Reports constructs

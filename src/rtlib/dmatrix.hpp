@@ -15,17 +15,28 @@
 #pragma once
 
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "minimpi/comm.hpp"
 #include "rtlib/layout.hpp"
+#include "support/source.hpp"
 
 namespace otter::rt {
 
+/// Runtime failure in the distributed run-time library or the executor.
+/// Carries an optional source location (attached by the LIR executor from
+/// the failing statement) and a stable E5xxx diagnostic code, mirroring the
+/// structured compile-time diagnostics.
 class RtError : public std::runtime_error {
  public:
-  using std::runtime_error::runtime_error;
+  explicit RtError(const std::string& msg, SourceLoc where = {},
+                   std::string diag_code = "E5001")
+      : std::runtime_error(msg), loc(where), code(std::move(diag_code)) {}
+
+  SourceLoc loc;     // statement location when known ({} otherwise)
+  std::string code;  // e.g. "E5001" generic, "E5003" shape guard
 };
 
 /// One rank's handle on a distributed real matrix.

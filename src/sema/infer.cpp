@@ -76,8 +76,9 @@ Ty shaped(BaseType t, long rows, long cols) {
 
 class Inferencer {
  public:
-  Inferencer(Program& prog, DiagEngine& diags, InferResult& out)
-      : prog_(prog), diags_(diags), out_(out) {}
+  Inferencer(Program& prog, DiagEngine& diags, InferResult& out,
+             const InferOptions& opts)
+      : prog_(prog), diags_(diags), out_(out), opts_(opts) {}
 
   void run() {
     out_.script_ssa = build_ssa(prog_.script);
@@ -116,8 +117,17 @@ class Inferencer {
     auto iit = out_.instances.find(key);
     if (iit != out_.instances.end()) return iit->second.out_types;
     if (in_progress_.contains(key)) {
-      diags_.error(loc, "recursive function '" + name +
-                            "' is not supported by the Otter compiler");
+      report("E3101", loc, "recursive function '" + name +
+                               "' is not supported by the Otter compiler");
+      return std::vector<Ty>(fn.outs.size(), Ty::scalar(BaseType::Real));
+    }
+    if (opts_.budget != nullptr &&
+        opts_.budget->limits().max_instances > 0 &&
+        out_.instances.size() >= opts_.budget->limits().max_instances) {
+      report_budget("E0006", loc,
+                    "function instantiation budget exceeded (" +
+                        std::to_string(opts_.budget->limits().max_instances) +
+                        " instances); simplify the call graph");
       return std::vector<Ty>(fn.outs.size(), Ty::scalar(BaseType::Real));
     }
     in_progress_.insert(key);
@@ -144,8 +154,9 @@ class Inferencer {
       auto vit = inst.types.var_class.find(o);
       if (vit != inst.types.var_class.end()) t = vit->second;
       if (!t.defined()) {
-        diags_.warning(fn.loc, "output '" + o + "' of '" + fn.name +
-                                   "' may be undefined on some path");
+        diags_.warning("E3102", fn.loc,
+                       "output '" + o + "' of '" + fn.name +
+                           "' may be undefined on some path");
         t = Ty::scalar(BaseType::Real);
       }
       inst.out_types.push_back(t);
@@ -169,8 +180,23 @@ class Inferencer {
     cur_ = &st;
     cur_ssa_ = &ssa;
     (void)scope_name;
+    size_t total_versions = 0;
     for (const auto& [name, count] : ssa.version_counts) {
+      total_versions += static_cast<size_t>(count);
       st.versions[name].assign(static_cast<size_t>(count), Ty{});
+    }
+    if (opts_.budget != nullptr &&
+        opts_.budget->limits().max_ssa_versions > 0 &&
+        total_versions > opts_.budget->limits().max_ssa_versions) {
+      report_budget(
+          "E0005", {},
+          "SSA version budget exceeded (" + std::to_string(total_versions) +
+              " > " +
+              std::to_string(opts_.budget->limits().max_ssa_versions) +
+              "); the program has too many assignments");
+      cur_ = saved_cur;
+      cur_ssa_ = saved_ssa;
+      return;
     }
     for (const auto& [name, ty] : entry) {
       if (!st.versions[name].empty()) st.versions[name][0] = ty;
@@ -180,6 +206,12 @@ class Inferencer {
     bool changed = true;
     int iters = 0;
     while (changed && iters++ < 64) {
+      if (opts_.budget != nullptr && opts_.budget->expired()) {
+        report_budget("E0004", {},
+                      "compilation wall-clock budget exceeded during "
+                      "inference");
+        break;
+      }
       changed = false;
       quiet_ = iters > 1;  // only report diagnostics once
       for (const BasicBlock& b : ssa.cfg.blocks) {
@@ -211,8 +243,9 @@ class Inferencer {
       bool conflict = false;
       for (const Ty& v : vers) t = join(t, v, &conflict);
       if (conflict) {
-        diags_.error({}, "variable '" + name +
-                             "' mixes literal and numeric values");
+        diags_.error("E3103", {},
+                     "variable '" + name +
+                         "' mixes literal and numeric values");
       }
       st.var_class[name] = t;
     }
@@ -348,7 +381,7 @@ class Inferencer {
         Ty st = e.step ? infer_expr(*e.step) : Ty::scalar(BaseType::Integer);
         BaseType t = std::max({lo.type, hi.type, st.type});
         if (t == BaseType::Complex) {
-          report(e.loc, "range endpoints must be real");
+          report("E3105", e.loc, "range endpoints must be real");
           t = BaseType::Real;
         }
         long n = -1;
@@ -379,8 +412,8 @@ class Inferencer {
   Ty infer_ident(const Expr& e) {
     if (e.callee == CalleeKind::Variable) {
       if (e.ssa_version < 0) {
-        report(e.loc, "variable '" + e.name + "' may be used before it is "
-                      "defined");
+        report("E3104", e.loc, "variable '" + e.name +
+                                   "' may be used before it is defined");
         return Ty{};
       }
       return cur_->versions[e.name][static_cast<size_t>(e.ssa_version)];
@@ -426,7 +459,7 @@ class Inferencer {
     Ty b = infer_expr(*e.rhs);
     BaseType num = std::max(a.type, b.type);
     if (a.type == BaseType::Literal || b.type == BaseType::Literal) {
-      report(e.loc, "arithmetic on string values is not supported");
+      report("E3106", e.loc, "arithmetic on string values is not supported");
       num = BaseType::Real;
     }
     if (num == BaseType::Bottom) num = BaseType::Real;
@@ -456,8 +489,8 @@ class Inferencer {
       bool mismatch = false;
       merge_dims(a.rows, a.cols, b.rows, b.cols, &rr, &rc, &mismatch);
       if (mismatch) {
-        report(e.loc, std::string("operand shapes disagree for '") +
-                          bin_op_name(e.bin_op) + "'");
+        report("E3107", e.loc, std::string("operand shapes disagree for '") +
+                                   bin_op_name(e.bin_op) + "'");
       }
       return shaped(result_type, rr, rc);
     };
@@ -476,25 +509,25 @@ class Inferencer {
       case BinOp::MatMul: {
         if (a.is_scalar() || b.is_scalar()) return elementwise(num);
         if (a.cols != -1 && b.rows != -1 && a.cols != b.rows) {
-          report(e.loc, "inner matrix dimensions disagree for '*'");
+          report("E3108", e.loc, "inner matrix dimensions disagree for '*'");
         }
         return shaped(num, a.rows, b.cols);
       }
       case BinOp::MatDiv:
         if (!b.is_scalar()) {
-          report(e.loc, "matrix '/' requires a scalar divisor in the Otter "
-                        "subset");
+          report("E3109", e.loc,
+                 "matrix '/' requires a scalar divisor in the Otter subset");
         }
         return elementwise(BaseType::Real >= num ? BaseType::Real : num);
       case BinOp::MatLDiv:
         if (!a.is_scalar()) {
-          report(e.loc, "matrix '\\' requires a scalar divisor in the Otter "
-                        "subset");
+          report("E3110", e.loc,
+                 "matrix '\\' requires a scalar divisor in the Otter subset");
         }
         return elementwise(num == BaseType::Integer ? BaseType::Real : num);
       case BinOp::MatPow:
         if (!a.is_scalar() || !b.is_scalar()) {
-          report(e.loc, "matrix '^' is not supported; use '.^'");
+          report("E3111", e.loc, "matrix '^' is not supported; use '.^'");
         }
         return Ty::scalar(num == BaseType::Integer ? BaseType::Real : num);
       case BinOp::Lt:
@@ -518,8 +551,8 @@ class Inferencer {
     if (e.ssa_version >= 0) {
       base = cur_->versions[e.name][static_cast<size_t>(e.ssa_version)];
     } else {
-      report(e.loc, "variable '" + e.name + "' may be used before it is "
-                    "defined");
+      report("E3104", e.loc, "variable '" + e.name +
+                                 "' may be used before it is defined");
     }
     // Index argument classification.
     std::vector<Ty> idx;
@@ -582,7 +615,8 @@ class Inferencer {
         long ec = et.is_scalar() ? 1 : et.cols;
         if (h == -1) h = er;
         else if (er != -1 && h != -1 && er != h) {
-          report(el->loc, "inconsistent block heights in matrix literal");
+          report("E3113", el->loc,
+                 "inconsistent block heights in matrix literal");
         }
         if (ec == -1) w_known = false;
         else w += ec;
@@ -590,14 +624,15 @@ class Inferencer {
       if (!w_known) width = -1;
       else if (width == -2) width = w;
       else if (width != -1 && width != w) {
-        report(e.loc, "inconsistent row widths in matrix literal");
+        report("E3113", e.loc, "inconsistent row widths in matrix literal");
       }
       if (h == -1) rows_known = false;
       else total_rows += h;
     }
     if (t == BaseType::Bottom) t = BaseType::Real;
     if (t == BaseType::Literal) {
-      report(e.loc, "strings inside matrix literals are not supported");
+      report("E3114", e.loc,
+             "strings inside matrix literals are not supported");
       t = BaseType::Real;
     }
     return shaped(t, rows_known ? total_rows : -1, width == -2 ? 0 : width);
@@ -611,8 +646,8 @@ class Inferencer {
     if (e.callee == CalleeKind::UserFunction) {
       std::vector<Ty> outs = instantiate(e.name, args, e.loc, &e);
       if (outs.size() < nargout) {
-        report(e.loc, "function '" + e.name + "' returns fewer values than "
-                      "requested");
+        report("E3115", e.loc, "function '" + e.name +
+                                   "' returns fewer values than requested");
         outs.resize(nargout, Ty::scalar(BaseType::Real));
       }
       if (!outs.empty()) cur_->expr_types[&e] = outs[0];
@@ -681,10 +716,31 @@ class Inferencer {
         if (a.rows == 1 || a.cols == 1) {
           return {Ty::scalar(b->id == Builtin::Mean ? BaseType::Real : a.type)};
         }
-        if (a.rows == -1 && a.cols == -1) {
-          report(e.loc, "cannot statically determine whether the argument of "
-                        "'" + std::string(b->name) + "' is a vector; assuming "
-                        "a matrix (column-wise reduction)");
+        // Any unknown dimension means the operand could still be a vector
+        // at run time (1 x n or n x 1), so the column-wise assumption below
+        // is unproven and needs either a hard error (strict) or a guard.
+        if (a.rows == -1 || a.cols == -1) {
+          if (opts_.strict) {
+            report("E3112", e.loc,
+                   "cannot statically determine whether the argument of '" +
+                       std::string(b->name) + "' is a vector; assuming "
+                       "a matrix (column-wise reduction)");
+          } else {
+            // Graceful degradation: assume the column-wise (matrix) form,
+            // warn once, and have the lowerer emit a runtime guard that
+            // aborts with E5003 if the argument turns out to be a vector.
+            if (!quiet_) {
+              diags_.warning(
+                  "E3112", e.loc,
+                  "cannot statically determine whether the argument of '" +
+                      std::string(b->name) + "' is a vector; assuming a "
+                      "matrix (column-wise reduction) and inserting a "
+                      "runtime shape guard (compile with --strict-infer to "
+                      "make this an error)");
+            }
+            out_.guards[&e] = {ShapeGuardReq::Kind::NonVectorReduction,
+                               std::string(b->name)};
+          }
         }
         return {shaped(b->id == Builtin::Mean ? BaseType::Real : a.type, 1,
                        a.cols)};
@@ -750,15 +806,17 @@ class Inferencer {
         // Paper pass 3: the sample data file must be present so the
         // compiler can determine the variable's type and rank.
         if (e.args.empty() || e.args[0]->kind != ExprKind::String) {
-          report(e.loc, "load requires a literal file name so the compiler "
-                        "can inspect the sample data file");
+          report("E3116", e.loc,
+                 "load requires a literal file name so the compiler can "
+                 "inspect the sample data file");
           return {Ty::matrix(BaseType::Real)};
         }
         std::string err;
         std::optional<MatFile> mf = read_mat_file(e.args[0]->name, &err);
         if (!mf) {
-          report(e.loc, "load: a sample data file is required at compile "
-                        "time (" + err + ")");
+          report("E3117", e.loc,
+                 "load: a sample data file is required at compile time (" +
+                     err + ")");
           return {Ty::matrix(BaseType::Real)};
         }
         BaseType t = mf->all_integer ? BaseType::Integer : BaseType::Real;
@@ -777,24 +835,35 @@ class Inferencer {
     }
   }
 
-  void report(SourceLoc loc, const std::string& msg) {
-    if (!quiet_) diags_.error(loc, msg);
+  void report(const char* code, SourceLoc loc, const std::string& msg) {
+    if (!quiet_) diags_.error(code, loc, msg);
+  }
+
+  /// Budget exhaustion is reported exactly once, and never suppressed by
+  /// the fixpoint's quiet mode — it must always surface as an error.
+  void report_budget(const char* code, SourceLoc loc, const std::string& msg) {
+    if (budget_reported_) return;
+    budget_reported_ = true;
+    diags_.error(code, loc, msg);
   }
 
   Program& prog_;
   DiagEngine& diags_;
   InferResult& out_;
+  InferOptions opts_;
   ScopeTypes* cur_ = nullptr;
   ScopeSsa* cur_ssa_ = nullptr;
   std::unordered_set<std::string> in_progress_;
   bool quiet_ = false;
+  bool budget_reported_ = false;
 };
 
 }  // namespace
 
-InferResult infer_program(Program& prog, DiagEngine& diags) {
+InferResult infer_program(Program& prog, DiagEngine& diags,
+                          const InferOptions& opts) {
   InferResult out;
-  Inferencer inf(prog, diags, out);
+  Inferencer inf(prog, diags, out, opts);
   inf.run();
   return out;
 }

@@ -21,6 +21,7 @@
 
 #include "frontend/ast.hpp"
 #include "sema/ssa.hpp"
+#include "support/budget.hpp"
 #include "support/diag.hpp"
 
 namespace otter::sema {
@@ -81,6 +82,25 @@ struct FnInstance {
   ScopeTypes types;
 };
 
+/// How inference reacts when a shape cannot be resolved statically, plus
+/// the shared compile-resource budget.
+struct InferOptions {
+  /// --strict-infer: unresolvable shapes are hard compile errors (the
+  /// original behavior). By default inference degrades gracefully: it
+  /// assumes the likely shape, warns, and asks the lowerer to emit a
+  /// runtime shape guard that validates the assumption.
+  bool strict = false;
+  BudgetGate* budget = nullptr;
+};
+
+/// A runtime check the lowerer must emit because inference made a shape
+/// assumption it could not prove (graceful degradation).
+struct ShapeGuardReq {
+  enum class Kind : uint8_t { NonVectorReduction } kind =
+      Kind::NonVectorReduction;
+  std::string builtin;  // the builtin whose argument is being guarded
+};
+
 struct InferResult {
   ScopeTypes script;
   /// Instances keyed by mangled name (deterministic iteration for codegen).
@@ -91,11 +111,15 @@ struct InferResult {
   /// of a function's instances).
   ScopeSsa script_ssa;
   std::map<const Function*, ScopeSsa> fn_ssa;
+  /// Runtime shape guards requested by graceful degradation, keyed by the
+  /// call expression whose argument needs checking.
+  std::unordered_map<const Expr*, ShapeGuardReq> guards;
 };
 
 /// Runs SSA construction + inference over the whole resolved program.
 /// Reports rank/type problems through diags; returns the result regardless
 /// (callers check diags.has_errors()).
-InferResult infer_program(Program& prog, DiagEngine& diags);
+InferResult infer_program(Program& prog, DiagEngine& diags,
+                          const InferOptions& opts = {});
 
 }  // namespace otter::sema

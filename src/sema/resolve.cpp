@@ -113,7 +113,8 @@ class Resolver {
         } else if (e.name == "i" || e.name == "j") {
           e.callee = CalleeKind::Builtin;  // imaginary unit
         } else {
-          diags_.error(e.loc, "undefined variable or function '" + e.name + "'");
+          diags_.error("E3001", e.loc,
+                       "undefined variable or function '" + e.name + "'");
         }
         break;
       case ExprKind::Call: {
@@ -121,7 +122,7 @@ class Resolver {
         if (vars.contains(e.name)) {
           e.callee = CalleeKind::Variable;  // indexing
           if (e.args.size() > 2) {
-            diags_.error(e.loc,
+            diags_.error("E3002", e.loc,
                          "only 1- and 2-dimensional indexing is supported");
           }
         } else if (resolve_function(e.name, e.loc)) {
@@ -129,7 +130,8 @@ class Resolver {
             e.callee = CalleeKind::UserFunction;
             const Function& fn = *prog_.functions.at(e.name);
             if (e.args.size() > fn.params.size()) {
-              diags_.error(e.loc, "too many arguments to '" + e.name + "'");
+              diags_.error("E3003", e.loc,
+                           "too many arguments to '" + e.name + "'");
             }
           } else {
             e.callee = CalleeKind::Builtin;
@@ -137,19 +139,19 @@ class Resolver {
             int argc = static_cast<int>(e.args.size());
             if (argc < b->min_args ||
                 (b->max_args >= 0 && argc > b->max_args)) {
-              diags_.error(e.loc, "wrong number of arguments to '" + e.name +
-                                      "'");
+              diags_.error("E3004", e.loc,
+                           "wrong number of arguments to '" + e.name + "'");
             }
           }
           // ':'/'end' are only meaningful when indexing a variable.
           for (const ExprPtr& a : e.args) {
             if (a->kind == ExprKind::Colon || a->kind == ExprKind::End) {
-              diags_.error(a->loc,
+              diags_.error("E3005", a->loc,
                            "':'/'end' is only valid when indexing a variable");
             }
           }
         } else {
-          diags_.error(e.loc,
+          diags_.error("E3001", e.loc,
                        "undefined variable or function '" + e.name + "'");
         }
         break;
@@ -186,12 +188,14 @@ class Resolver {
         DiagEngine sub(&sm_);
         ParsedFile pf = parse_string(*text, sm_, sub, name + ".m");
         if (sub.has_errors()) {
-          diags_.error(loc, "errors while parsing M-file '" + name + ".m':\n" +
-                                sub.to_string());
+          diags_.error("E3006", loc,
+                       "errors while parsing M-file '" + name + ".m':\n" +
+                           sub.to_string());
           return false;
         }
         if (pf.functions.empty()) {
-          diags_.error(loc, "M-file '" + name + ".m' does not define a function");
+          diags_.error("E3007", loc,
+                       "M-file '" + name + ".m' does not define a function");
           return false;
         }
         for (auto& fn : pf.functions) {

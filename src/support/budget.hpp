@@ -1,0 +1,62 @@
+// Compile-time resource budgets (ISSUE 3): pathological inputs — deeply
+// nested expressions, enormous literals, exponential instantiation — must
+// degrade to a diagnostic instead of a stack overflow, OOM, or hang. Each
+// pipeline phase checks the relevant limit and reports an E0xxx-class
+// budget diagnostic when exceeded.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+
+namespace otter {
+
+/// Hard ceilings for one compilation. Zero disables an individual limit.
+/// Defaults are far above anything a legitimate script needs, but low
+/// enough that a hostile input is cut off in well under a second.
+struct CompileBudget {
+  size_t max_ast_nodes = 1'000'000;   // parser: total expression nodes
+  int max_nesting_depth = 200;        // parser: expr + statement recursion
+  size_t max_ssa_versions = 500'000;  // infer: total SSA versions per scope
+  size_t max_instances = 256;         // infer: function instantiations
+  size_t max_lir_instrs = 1'000'000;  // lower: emitted LIR instructions
+  double max_wall_seconds = 30.0;     // whole pipeline wall clock
+};
+
+/// Per-compilation budget state shared by all phases: the limits plus the
+/// wall-clock deadline that starts ticking when compilation begins.
+class BudgetGate {
+ public:
+  explicit BudgetGate(const CompileBudget& limits = {})
+      : limits_(limits),
+        deadline_(std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(
+                          limits.max_wall_seconds > 0 ? limits.max_wall_seconds
+                                                      : 0.0))) {}
+
+  [[nodiscard]] const CompileBudget& limits() const { return limits_; }
+
+  /// True once the wall-clock budget is spent. Cheap enough to call from
+  /// per-statement loops; hot per-token paths should amortize with
+  /// expired_every().
+  [[nodiscard]] bool expired() const {
+    if (limits_.max_wall_seconds <= 0) return false;
+    return std::chrono::steady_clock::now() >= deadline_;
+  }
+
+  /// Amortized deadline check: only consults the clock every `stride`
+  /// calls, then latches. Callers pass a per-phase counter reference.
+  [[nodiscard]] bool expired_every(size_t& counter, size_t stride = 1024) {
+    if (latched_) return true;
+    if (++counter % stride != 0) return false;
+    latched_ = expired();
+    return latched_;
+  }
+
+ private:
+  CompileBudget limits_;
+  std::chrono::steady_clock::time_point deadline_;
+  bool latched_ = false;
+};
+
+}  // namespace otter

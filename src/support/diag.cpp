@@ -1,5 +1,6 @@
 #include "support/diag.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -23,14 +24,36 @@ const char* severity_name(DiagSeverity s) {
   }
   return "?";
 }
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
 }  // namespace
 
 void DiagEngine::print(std::ostream& os) const {
   for (const Diagnostic& d : diags_) {
+    std::string label = severity_name(d.severity);
+    if (!d.code.empty()) label += "[" + d.code + "]";
     if (sm_ != nullptr && d.loc.valid() && d.loc.file < sm_->buffer_count()) {
       const SourceBuffer& buf = sm_->buffer(d.loc.file);
       os << buf.name() << ':' << d.loc.line << ':' << d.loc.col << ": ";
-      os << severity_name(d.severity) << ": " << d.message << '\n';
+      os << label << ": " << d.message << '\n';
       std::string_view line = buf.line(d.loc.line);
       if (!line.empty()) {
         os << "  " << line << '\n';
@@ -39,7 +62,7 @@ void DiagEngine::print(std::ostream& os) const {
         os << "^\n";
       }
     } else {
-      os << severity_name(d.severity) << ": " << d.message << '\n';
+      os << label << ": " << d.message << '\n';
     }
   }
 }
@@ -47,6 +70,40 @@ void DiagEngine::print(std::ostream& os) const {
 std::string DiagEngine::to_string() const {
   std::ostringstream ss;
   print(ss);
+  return ss.str();
+}
+
+void DiagEngine::print_json(std::ostream& os) const {
+  os << "[";
+  bool first = true;
+  for (const Diagnostic& d : diags_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  {\"code\": \"";
+    json_escape(os, d.code);
+    os << "\", \"severity\": \"" << severity_name(d.severity) << "\", ";
+    if (sm_ != nullptr && d.loc.valid() && d.loc.file < sm_->buffer_count()) {
+      os << "\"file\": \"";
+      json_escape(os, std::string(sm_->buffer(d.loc.file).name()));
+      os << "\", ";
+    } else {
+      os << "\"file\": null, ";
+    }
+    if (d.loc.valid()) {
+      os << "\"line\": " << d.loc.line << ", \"col\": " << d.loc.col << ", ";
+    } else {
+      os << "\"line\": null, \"col\": null, ";
+    }
+    os << "\"message\": \"";
+    json_escape(os, d.message);
+    os << "\"}";
+  }
+  os << "\n]\n";
+}
+
+std::string DiagEngine::to_json() const {
+  std::ostringstream ss;
+  print_json(ss);
   return ss.str();
 }
 

@@ -1,4 +1,14 @@
 // Diagnostics engine: collects errors/warnings/notes with source locations.
+//
+// Every diagnostic carries a stable machine-readable code so tooling can key
+// on the class of problem rather than the message text:
+//   E0xxx  driver / resource budgets
+//   E1xxx  lexer
+//   E2xxx  parser
+//   E3xxx  sema (resolve + inference)
+//   E4xxx  lowering
+//   E5xxx  runtime
+// The full registry lives in DESIGN.md ("Structured diagnostics").
 #pragma once
 
 #include <iosfwd>
@@ -15,6 +25,7 @@ struct Diagnostic {
   DiagSeverity severity = DiagSeverity::Error;
   SourceLoc loc;
   std::string message;
+  std::string code;  // e.g. "E2001"; empty for legacy uncoded reports
 };
 
 /// Accumulates diagnostics during a compilation. Passes report through this
@@ -25,36 +36,75 @@ class DiagEngine {
 
   void attach(const SourceManager* sm) { sm_ = sm; }
 
-  void error(SourceLoc loc, std::string msg) {
-    diags_.push_back({DiagSeverity::Error, loc, std::move(msg)});
+  /// Errors beyond this many are counted but not stored or rendered
+  /// (0 = unlimited). A single E0001 note marks the cutoff point.
+  void set_max_errors(size_t n) { max_errors_ = n; }
+  /// True once the --max-errors cap has been hit; compilation phases use
+  /// this to stop early instead of grinding through a hopeless input.
+  [[nodiscard]] bool at_error_limit() const {
+    return max_errors_ != 0 && error_count_ >= max_errors_;
+  }
+  [[nodiscard]] size_t suppressed_count() const { return suppressed_; }
+
+  void error(const char* code, SourceLoc loc, std::string msg) {
+    if (at_error_limit()) {
+      if (suppressed_ == 0) {
+        diags_.push_back({DiagSeverity::Note, {},
+                          "too many errors emitted, stopping now "
+                          "(use --max-errors=0 to see all)",
+                          "E0001"});
+      }
+      ++suppressed_;
+      ++error_count_;
+      return;
+    }
+    diags_.push_back({DiagSeverity::Error, loc, std::move(msg), code});
     ++error_count_;
   }
-  void warning(SourceLoc loc, std::string msg) {
-    diags_.push_back({DiagSeverity::Warning, loc, std::move(msg)});
+  void warning(const char* code, SourceLoc loc, std::string msg) {
+    if (at_error_limit()) return;
+    diags_.push_back({DiagSeverity::Warning, loc, std::move(msg), code});
   }
-  void note(SourceLoc loc, std::string msg) {
-    diags_.push_back({DiagSeverity::Note, loc, std::move(msg)});
+  void note(const char* code, SourceLoc loc, std::string msg) {
+    if (at_error_limit()) return;
+    diags_.push_back({DiagSeverity::Note, loc, std::move(msg), code});
   }
 
+  // Legacy uncoded forms (kept for tests and out-of-tree callers).
+  void error(SourceLoc loc, std::string msg) { error("", loc, std::move(msg)); }
+  void warning(SourceLoc loc, std::string msg) {
+    warning("", loc, std::move(msg));
+  }
+  void note(SourceLoc loc, std::string msg) { note("", loc, std::move(msg)); }
+
   [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
+  [[nodiscard]] bool empty() const { return diags_.empty(); }
   [[nodiscard]] size_t error_count() const { return error_count_; }
   [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
     return diags_;
   }
 
-  /// Renders "file:line:col: severity: message" plus a source snippet.
+  /// Renders "file:line:col: severity[code]: message" plus a source snippet.
   void print(std::ostream& os) const;
   [[nodiscard]] std::string to_string() const;
+
+  /// Machine-readable rendering: a JSON array of
+  /// {"code","severity","file","line","col","message"} objects.
+  void print_json(std::ostream& os) const;
+  [[nodiscard]] std::string to_json() const;
 
   void clear() {
     diags_.clear();
     error_count_ = 0;
+    suppressed_ = 0;
   }
 
  private:
   const SourceManager* sm_;
   std::vector<Diagnostic> diags_;
   size_t error_count_ = 0;
+  size_t max_errors_ = 0;
+  size_t suppressed_ = 0;
 };
 
 }  // namespace otter

@@ -1,0 +1,4 @@
+a = zeros(3, 4);
+b = ones(5, 2);
+c = a + b;
+disp(sum(sum(c)));

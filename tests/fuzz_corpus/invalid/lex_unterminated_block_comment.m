@@ -1,0 +1,3 @@
+a = 2;
+%{ this block comment is never closed
+b = 3;

@@ -1,0 +1,2 @@
+x = 1;
+s = 'this string never ends

@@ -1,0 +1,4 @@
+for i = 1:10
+  x = i * 2;
+if x > 3
+  disp(x);

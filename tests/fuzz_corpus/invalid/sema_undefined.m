@@ -1,0 +1,3 @@
+a = 1;
+b = a + not_defined_anywhere;
+c = also_missing(4);

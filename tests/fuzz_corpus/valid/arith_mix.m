@@ -1,0 +1,9 @@
+% Scalar and element-wise arithmetic over small matrices.
+n = 6;
+a = eye(n, n) * 3 + ones(n, n);
+b = a' * a;
+c = b .* 2 - a ./ 4;
+s = sum(sum(c));
+fprintf('arith %.6f\n', s);
+d = c(2, 3) + c(1, 1);
+disp(d);

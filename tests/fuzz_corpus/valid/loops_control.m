@@ -1,0 +1,19 @@
+% Control flow: nested loops, break/continue, while.
+total = 0;
+for i = 1:10
+  if i == 7
+    break;
+  end
+  for j = 1:5
+    if j == 3
+      continue;
+    end
+    total = total + i * j;
+  end
+end
+k = 0;
+while k < 4
+  k = k + 1;
+  total = total + k;
+end
+fprintf('loops %d\n', total);

@@ -1,0 +1,11 @@
+% Reductions over matrices and vectors, min/max, literals.
+a = [1, 2, 3; 4, 5, 6; 7, 8, 10];
+s1 = sum(sum(a));
+v = [2, 4, 6, 8];
+s2 = sum(v);
+m1 = max(max(a));
+m2 = min(v);
+avg = mean(v);
+fprintf('red %.4f %.4f %.4f %.4f %.4f\n', s1, s2, m1, m2, avg);
+b = a * a - a';
+disp(sum(sum(abs(b))));

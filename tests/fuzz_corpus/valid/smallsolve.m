@@ -1,0 +1,11 @@
+% Tiny iterative solve: Jacobi sweeps on a diagonally dominant system.
+n = 8;
+a = eye(n, n) * 10 + ones(n, n);
+b = ones(n, 1) * 3;
+x = zeros(n, 1);
+for it = 1:20
+  r = b - a * x;
+  x = x + r ./ 10;
+end
+res = a * x - b;
+fprintf('solve %.6f\n', sqrt(res' * res));

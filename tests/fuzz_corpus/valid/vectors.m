@@ -1,0 +1,15 @@
+% Vector construction, slicing, dot products, norms.
+v = 1:0.5:8;
+w = linspace(0, 1, 15);
+x = v(3:9);
+y = x * 2 + 1;
+d = y * y';
+fprintf('dot %.6f\n', d);
+m = zeros(4, 4);
+for i = 1:4
+  m(i, i) = i;
+  m(1, i) = m(1, i) + 0.5;
+end
+r = m(2, :);
+c = m(:, 3);
+fprintf('trace-ish %.6f %.6f\n', sum(r), sum(c));

@@ -164,6 +164,48 @@ TEST(Lexer, UnterminatedStringReportsError) {
   EXPECT_TRUE(diags.has_errors());
 }
 
+/// Lexes expecting errors; returns the first error diagnostic's code.
+std::string first_error_code(const std::string& text) {
+  SourceManager sm;
+  DiagEngine diags(&sm);
+  uint32_t file = sm.add_buffer("<t>", text);
+  Lexer lexer(sm, file, diags);
+  lexer.lex_all();
+  for (const Diagnostic& d : diags.diagnostics()) {
+    if (d.severity == DiagSeverity::Error) return d.code;
+  }
+  return {};
+}
+
+TEST(Lexer, UnterminatedStringAtEofHasCodeAndLocation) {
+  SourceManager sm;
+  DiagEngine diags(&sm);
+  uint32_t file = sm.add_buffer("<t>", "x = 1;\ns = 'never closed");
+  Lexer lexer(sm, file, diags);
+  lexer.lex_all();
+  ASSERT_TRUE(diags.has_errors());
+  const Diagnostic& d = diags.diagnostics().front();
+  EXPECT_EQ(d.code, "E1102");
+  EXPECT_EQ(d.loc.line, 2u);  // points at the opening quote's line
+}
+
+TEST(Lexer, UnterminatedBlockCommentAtEof) {
+  EXPECT_EQ(first_error_code("a = 2;\n%{ never closed\nb = 3;"), "E1103");
+}
+
+TEST(Lexer, TerminatedBlockCommentLexes) {
+  auto toks = lex("a = 1; %{ comment\nstill comment %} \nb = 2;");
+  bool saw_b = false;
+  for (const Token& t : toks) {
+    if (t.kind == Tok::Ident && t.text == "b") saw_b = true;
+  }
+  EXPECT_TRUE(saw_b);
+}
+
+TEST(Lexer, UnexpectedCharacterHasCode) {
+  EXPECT_EQ(first_error_code("x = 3 ` 4;"), "E1101");
+}
+
 TEST(Lexer, TransposeChainAfterTranspose) {
   auto toks = lex("a''");
   EXPECT_EQ(toks[1].kind, Tok::Transpose);

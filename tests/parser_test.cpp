@@ -201,5 +201,84 @@ TEST(Parser, EndOutsideIndexFails) {
   EXPECT_TRUE(parse_fails("y = end;"));
 }
 
+// -- error recovery (ISSUE 3) -------------------------------------------------
+
+/// Parses text and returns the collected diagnostics engine for inspection.
+size_t parse_error_count(const std::string& text) {
+  SourceManager sm;
+  DiagEngine diags(&sm);
+  parse_string(text, sm, diags);
+  return diags.error_count();
+}
+
+TEST(ParserRecovery, MultipleStatementErrorsAllReported) {
+  // Three independent bad statements: recovery must resynchronize after each
+  // one so all three produce diagnostics, not just the first.
+  size_t n = parse_error_count("x = = 1;\ny = (2 + ;\nz = ) 3;\n");
+  EXPECT_GE(n, 3u);
+}
+
+TEST(ParserRecovery, ErrorsCarryStableCodes) {
+  SourceManager sm;
+  DiagEngine diags(&sm);
+  parse_string("x = = 1;", sm, diags);
+  ASSERT_TRUE(diags.has_errors());
+  bool coded = false;
+  for (const Diagnostic& d : diags.diagnostics()) {
+    if (d.severity == DiagSeverity::Error) {
+      EXPECT_FALSE(d.code.empty());
+      EXPECT_EQ(d.code[0], 'E');
+      coded = true;
+    }
+  }
+  EXPECT_TRUE(coded);
+}
+
+TEST(ParserRecovery, UnterminatedBlockAtEofTerminates) {
+  // Dangling control structures at EOF must produce errors without the
+  // recovery loop spinning on the EOF token (a hang here trips the ctest
+  // timeout).
+  EXPECT_TRUE(parse_fails("for i = 1:3\nif i\nwhile i\nx = i;"));
+  EXPECT_TRUE(parse_fails("function y = f(a)\ny = a;"
+                          "\nfunction z = g(b)\nz = (b;"));
+}
+
+TEST(ParserRecovery, GarbageAtEofTerminates) {
+  EXPECT_TRUE(parse_fails("x = 1 +"));
+  EXPECT_TRUE(parse_fails("["));
+  EXPECT_TRUE(parse_fails("y = ["));
+  EXPECT_TRUE(parse_fails("if"));
+}
+
+TEST(ParserRecovery, ErrorsAfterValidStatementsStillReported) {
+  SourceManager sm;
+  DiagEngine diags(&sm);
+  parse_string("a = 1;\nb = a + 2;\nc = ] 3;\n", sm, diags);
+  ASSERT_TRUE(diags.has_errors());
+  // The error location is on line 3, after the two good statements.
+  bool line3 = false;
+  for (const Diagnostic& d : diags.diagnostics()) {
+    if (d.severity == DiagSeverity::Error && d.loc.line == 3) line3 = true;
+  }
+  EXPECT_TRUE(line3);
+}
+
+TEST(ParserRecovery, DeepNestingBecomesBudgetDiagnostic) {
+  // 300 nested parens exceeds the default 200-deep budget: the parser must
+  // report E0002 instead of overflowing the stack.
+  std::string src = "x = " + std::string(300, '(') + "1" +
+                    std::string(300, ')') + ";";
+  SourceManager sm;
+  DiagEngine diags(&sm);
+  BudgetGate gate;
+  parse_string(src, sm, diags, "<input>", &gate);
+  ASSERT_TRUE(diags.has_errors());
+  bool saw_budget = false;
+  for (const Diagnostic& d : diags.diagnostics()) {
+    if (d.code == "E0002") saw_budget = true;
+  }
+  EXPECT_TRUE(saw_budget);
+}
+
 }  // namespace
 }  // namespace otter

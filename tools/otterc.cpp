@@ -20,6 +20,19 @@
 //   --timeout=SECS         watchdog deadline for a blocked rank (default 30)
 //   --retries=N            re-run a failed SPMD execution up to N extra times
 //                          with virtual-time backoff
+//   --diag-format=text|json  diagnostic rendering (default text)
+//   --max-errors=N         stop after N errors (0 = unlimited, the default)
+//   --strict-infer         unresolvable shapes are compile errors instead of
+//                          runtime-guarded assumptions
+//   --budget-seconds=SECS  compile-time wall-clock budget (default 30)
+//
+// Exit codes (sysexits-style so scripts and the fuzzer can triage):
+//   0  success
+//   64 usage error (bad flags)
+//   65 the input could not be compiled (diagnostics printed)
+//   66 the input file could not be opened
+//   70 the program failed at run time (RtError / interpreter / SPMD failure)
+//   71 internal error (unexpected exception)
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -28,8 +41,16 @@
 #include "codegen/ccrun.hpp"
 #include "codegen/emit.hpp"
 #include "driver/pipeline.hpp"
+#include "interp/value.hpp"
 
 namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 64;     // EX_USAGE
+constexpr int kExitCompile = 65;   // EX_DATAERR: input rejected
+constexpr int kExitNoInput = 66;   // EX_NOINPUT
+constexpr int kExitRuntime = 70;   // EX_SOFTWARE: program failed at run time
+constexpr int kExitInternal = 71;  // EX_OSERR-adjacent: compiler bug
 
 struct Options {
   std::string script_path;
@@ -44,6 +65,10 @@ struct Options {
   std::string fault_plan;
   double timeout = 30.0;
   int retries = 0;
+  std::string diag_format = "text";
+  size_t max_errors = 0;
+  bool strict_infer = false;
+  double budget_seconds = 30.0;
 };
 
 int usage() {
@@ -51,8 +76,10 @@ int usage() {
       "usage: otterc SCRIPT.m [--emit=ast|lir|c] [--run=interp|direct|cc]\n"
       "              [--np=N] [--machine=NAME] [--dist=block|cyclic]\n"
       "              [--no-peephole] [--seed=N] [--times]\n"
-      "              [--fault-plan=SPEC] [--timeout=SECS] [--retries=N]\n";
-  return 2;
+      "              [--fault-plan=SPEC] [--timeout=SECS] [--retries=N]\n"
+      "              [--diag-format=text|json] [--max-errors=N]\n"
+      "              [--strict-infer] [--budget-seconds=SECS]\n";
+  return kExitUsage;
 }
 
 bool parse_args(int argc, char** argv, Options& o) try {
@@ -71,15 +98,22 @@ bool parse_args(int argc, char** argv, Options& o) try {
     else if (auto v = value("--fault-plan=")) o.fault_plan = *v;
     else if (auto v = value("--timeout=")) o.timeout = std::stod(*v);
     else if (auto v = value("--retries=")) o.retries = std::stoi(*v);
-    else if (auto v = value("--dist=")) {
+    else if (auto v = value("--diag-format=")) o.diag_format = *v;
+    else if (auto v = value("--max-errors=")) {
+      o.max_errors = static_cast<size_t>(std::stoull(*v));
+    } else if (auto v = value("--budget-seconds=")) {
+      o.budget_seconds = std::stod(*v);
+    } else if (auto v = value("--dist=")) {
       o.dist = (*v == "cyclic") ? otter::rt::Dist::Cyclic
                                 : otter::rt::Dist::RowBlock;
     } else if (a == "--no-peephole") o.peephole = false;
+    else if (a == "--strict-infer") o.strict_infer = true;
     else if (a == "--times") o.times = true;
     else if (!a.empty() && a[0] == '-') return false;
     else if (o.script_path.empty()) o.script_path = a;
     else return false;
   }
+  if (o.diag_format != "text" && o.diag_format != "json") return false;
   return !o.script_path.empty();
 } catch (const std::exception&) {
   return false;  // malformed numeric flag value: stoi/stod/stoull threw
@@ -100,6 +134,25 @@ void print_failure(const otter::mpi::SpmdFailure& e) {
   }
 }
 
+/// Renders the accumulated diagnostics in the selected format.
+void print_diags(const otter::DiagEngine& diags, const Options& opt) {
+  if (opt.diag_format == "json") {
+    diags.print_json(std::cerr);
+  } else {
+    diags.print(std::cerr);
+  }
+}
+
+/// Uniform rendering of a located, coded runtime failure.
+int report_runtime_error(const std::string& code, otter::SourceLoc loc,
+                         const char* what) {
+  std::cerr << "otterc: runtime error";
+  if (!code.empty()) std::cerr << " [" << code << ']';
+  if (loc.valid()) std::cerr << " at line " << loc.line;
+  std::cerr << ": " << what << '\n';
+  return kExitRuntime;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -109,7 +162,7 @@ int main(int argc, char** argv) {
   std::ifstream in(opt.script_path);
   if (!in) {
     std::cerr << "otterc: cannot open " << opt.script_path << '\n';
-    return 1;
+    return kExitNoInput;
   }
   std::ostringstream ss;
   ss << in.rdbuf();
@@ -119,33 +172,47 @@ int main(int argc, char** argv) {
 
   try {
     if (opt.run == "interp" && opt.emit.empty()) {
-      auto run = otter::driver::run_interpreter(source, loader, opt.seed);
-      std::cout << run.output;
-      if (opt.times) {
-        std::cerr << "interpreter cpu seconds: " << run.cpu_seconds << '\n';
+      try {
+        auto run = otter::driver::run_interpreter(source, loader, opt.seed);
+        std::cout << run.output;
+        if (opt.times) {
+          std::cerr << "interpreter cpu seconds: " << run.cpu_seconds << '\n';
+        }
+        return kExitOk;
+      } catch (const otter::interp::InterpError& e) {
+        return report_runtime_error(e.code(), e.loc(), e.what());
+      } catch (const std::runtime_error& e) {
+        // run_interpreter wraps parse/resolve diagnostics in runtime_error.
+        std::cerr << "otterc: " << e.what() << '\n';
+        return kExitCompile;
       }
-      return 0;
     }
 
-    otter::lower::LowerOptions lopts;
-    lopts.peephole = opt.peephole;
-    auto compiled = otter::driver::compile_script(source, loader, lopts);
+    otter::driver::CompileOptions copts;
+    copts.lower.peephole = opt.peephole;
+    copts.strict_infer = opt.strict_infer;
+    copts.max_errors = opt.max_errors;
+    copts.budget.max_wall_seconds = opt.budget_seconds;
+    auto compiled = otter::driver::compile_script(source, loader, copts);
     if (!compiled->ok) {
-      compiled->diags.print(std::cerr);
-      return 1;
+      print_diags(compiled->diags, opt);
+      return kExitCompile;
+    }
+    if (!compiled->diags.empty()) {
+      print_diags(compiled->diags, opt);  // warnings (e.g. degraded shapes)
     }
 
     if (opt.emit == "ast") {
       std::cout << dump_program(compiled->prog);
-      return 0;
+      return kExitOk;
     }
     if (opt.emit == "lir") {
       std::cout << otter::lower::dump_lir(compiled->lir);
-      return 0;
+      return kExitOk;
     }
     if (opt.emit == "c") {
       std::cout << otter::codegen::emit_cpp(compiled->lir);
-      return 0;
+      return kExitOk;
     }
     if (!opt.emit.empty()) return usage();
 
@@ -166,7 +233,7 @@ int main(int argc, char** argv) {
       auto program = otter::codegen::CompiledProgram::build(compiled->lir, &error);
       if (!program) {
         std::cerr << "otterc: " << error << '\n';
-        return 1;
+        return kExitInternal;
       }
       std::ostringstream out;
       auto times = otter::mpi::run_spmd(
@@ -179,7 +246,7 @@ int main(int argc, char** argv) {
           std::cerr << "rank " << r << " vtime " << times.vtimes[r] << "s\n";
         }
       }
-      return 0;
+      return kExitOk;
     }
 
     if (opt.retries > 0) {
@@ -193,7 +260,7 @@ int main(int argc, char** argv) {
       }
       if (!rr.ok) {
         std::cerr << "otterc: giving up after " << rr.attempts << " attempts\n";
-        return 1;
+        return kExitRuntime;
       }
       std::cout << rr.run.output;
       if (opt.times) {
@@ -204,7 +271,7 @@ int main(int argc, char** argv) {
                     << "s\n";
         }
       }
-      return 0;
+      return kExitOk;
     }
 
     auto run = otter::driver::run_parallel(compiled->lir, profile, opt.np, eopts);
@@ -214,12 +281,16 @@ int main(int argc, char** argv) {
         std::cerr << "rank " << r << " vtime " << run.times.vtimes[r] << "s\n";
       }
     }
-    return 0;
+    return kExitOk;
+  } catch (const otter::rt::RtError& e) {
+    return report_runtime_error(e.code, e.loc, e.what());
+  } catch (const otter::interp::InterpError& e) {
+    return report_runtime_error(e.code(), e.loc(), e.what());
   } catch (const otter::mpi::SpmdFailure& e) {
     print_failure(e);
-    return 1;
+    return kExitRuntime;
   } catch (const std::exception& e) {
-    std::cerr << "otterc: " << e.what() << '\n';
-    return 1;
+    std::cerr << "otterc: internal error: " << e.what() << '\n';
+    return kExitInternal;
   }
 }

@@ -1,0 +1,348 @@
+// otterfuzz — randomized robustness and differential-testing harness for the
+// Otter compiler pipeline (ISSUE 3).
+//
+// Three checks, all enabled by default:
+//
+//   1. Seeded token soup: pseudo-random token streams are compiled under a
+//      tight resource budget. The compiler must never crash, hang, or throw;
+//      every rejected input must carry at least one coded diagnostic.
+//   2. Corpus mutations: scripts from the fuzz corpus (and any extra corpus
+//      directory) are byte-mutated deterministically and recompiled, with
+//      the same no-crash / always-a-diagnostic contract.
+//   3. Differential execution: every script in the valid corpus runs through
+//      the baseline interpreter AND the compiled pipeline (direct SPMD
+//      executor at np=1 and np=3); all three outputs must agree exactly.
+//
+// Usage:
+//   otterfuzz [--seeds=LO:HI] [--mutations=N] [--corpus=DIR] [--no-diff]
+//             [--max-tokens=N] [--verbose]
+//
+// Exit status: 0 when every check passed, 1 otherwise. The tool is
+// deterministic for a given flag set, so CI failures replay locally.
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/pipeline.hpp"
+#include "support/rng.hpp"
+
+#ifndef OTTER_FUZZ_CORPUS_DIR
+#define OTTER_FUZZ_CORPUS_DIR "tests/fuzz_corpus"
+#endif
+
+namespace {
+
+namespace fs = std::filesystem;
+using otter::Lcg;
+
+struct Options {
+  uint64_t seed_lo = 0;
+  uint64_t seed_hi = 500;
+  int mutations = 25;          // per corpus file
+  std::string extra_corpus;    // additional directory of .m seeds
+  bool diff = true;
+  size_t max_tokens = 256;
+  bool verbose = false;
+};
+
+struct Stats {
+  size_t inputs = 0;
+  size_t accepted = 0;
+  size_t rejected = 0;
+  size_t failures = 0;
+};
+
+int usage() {
+  std::cerr << "usage: otterfuzz [--seeds=LO:HI] [--mutations=N]\n"
+               "                 [--corpus=DIR] [--no-diff] [--max-tokens=N]\n"
+               "                 [--verbose]\n";
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Options& o) try {
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto value = [&](const char* prefix) -> std::optional<std::string> {
+      size_t n = std::strlen(prefix);
+      if (a.rfind(prefix, 0) == 0) return a.substr(n);
+      return std::nullopt;
+    };
+    if (auto v = value("--seeds=")) {
+      size_t colon = v->find(':');
+      if (colon == std::string::npos) return false;
+      o.seed_lo = std::stoull(v->substr(0, colon));
+      o.seed_hi = std::stoull(v->substr(colon + 1));
+    } else if (auto v = value("--mutations=")) {
+      o.mutations = std::stoi(*v);
+    } else if (auto v = value("--corpus=")) {
+      o.extra_corpus = *v;
+    } else if (auto v = value("--max-tokens=")) {
+      o.max_tokens = std::stoull(*v);
+    } else if (a == "--no-diff") {
+      o.diff = false;
+    } else if (a == "--verbose") {
+      o.verbose = true;
+    } else {
+      return false;
+    }
+  }
+  return o.seed_lo <= o.seed_hi;
+} catch (const std::exception&) {
+  return false;
+}
+
+/// Compiles one input under a tight budget. The contract checked everywhere:
+/// compile_script never throws and never hangs, and a failed compile leaves
+/// at least one coded error diagnostic behind.
+struct CompileOutcome {
+  bool ok = false;        // compiled cleanly
+  bool crashed = false;   // an exception escaped the pipeline
+  std::string problem;    // description when the contract is violated
+};
+
+CompileOutcome check_compile(const std::string& source, bool verbose,
+                             const char* label) {
+  CompileOutcome out;
+  otter::driver::CompileOptions copts;
+  copts.budget.max_wall_seconds = 5.0;  // a hang becomes a diagnostic
+  try {
+    auto c = otter::driver::compile_script(source, {}, copts);
+    out.ok = c->ok;
+    if (!c->ok) {
+      if (!c->diags.has_errors()) {
+        out.problem = "rejected input but produced no error diagnostic";
+      } else {
+        bool coded = false;
+        for (const otter::Diagnostic& d : c->diags.diagnostics()) {
+          if (d.severity == otter::DiagSeverity::Error && !d.code.empty()) {
+            coded = true;
+            break;
+          }
+        }
+        if (!coded && c->diags.suppressed_count() == 0) {
+          out.problem = "error diagnostics carry no E-code";
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    out.crashed = true;
+    out.problem = std::string("exception escaped the compiler: ") + e.what();
+  } catch (...) {
+    out.crashed = true;
+    out.problem = "non-standard exception escaped the compiler";
+  }
+  if (!out.problem.empty() && verbose) {
+    std::cerr << "otterfuzz: [" << label << "] " << out.problem << '\n';
+  }
+  return out;
+}
+
+// -- token soup ---------------------------------------------------------------
+
+const char* const kVocabulary[] = {
+    "x", "y", "abc", "ans", "sum", "zeros", "ones", "eye", "disp", "size",
+    "0", "1", "42", "3.25", "1e9", "2e-3", ".5",
+    "+", "-", "*", "/", "\\", "^", ".*", "./", ".^", "'",
+    "==", "~=", "<", "<=", ">", ">=", "&", "|", "~", "=",
+    "(", ")", "[", "]", ",", ";", ":", "\n", " ",
+    "if", "else", "elseif", "end", "for", "while", "break", "continue",
+    "function", "return", "global",
+    "'str'", "% comment\n", "%{", "%}",
+    "@", "#", "$", "`", "\"", "{", "}", "\t", "..", "...",
+};
+constexpr size_t kVocabularySize = sizeof(kVocabulary) / sizeof(kVocabulary[0]);
+
+std::string gen_token_soup(uint64_t seed, size_t max_tokens) {
+  Lcg rng(seed * 2654435761ULL + 17);
+  size_t n = 1 + static_cast<size_t>(rng.next() * static_cast<double>(max_tokens));
+  std::string s;
+  for (size_t i = 0; i < n; ++i) {
+    s += kVocabulary[static_cast<size_t>(rng.next() * kVocabularySize)];
+    if (rng.next() < 0.3) s += ' ';
+  }
+  return s;
+}
+
+// -- corpus mutations ---------------------------------------------------------
+
+std::string mutate(const std::string& base, Lcg& rng) {
+  std::string s = base;
+  int ops = 1 + static_cast<int>(rng.next() * 4);
+  for (int k = 0; k < ops && !s.empty(); ++k) {
+    double choice = rng.next();
+    size_t at = static_cast<size_t>(rng.next() * static_cast<double>(s.size()));
+    if (choice < 0.25) {
+      // Flip one byte to a random printable (or newline) character.
+      static const char kBytes[] =
+          "abcxyz0189+-*/\\^'=<>~&|()[],;: \n%.$#`\"";
+      s[at] = kBytes[static_cast<size_t>(rng.next() * (sizeof(kBytes) - 1))];
+    } else if (choice < 0.5) {
+      // Delete a span.
+      size_t len = 1 + static_cast<size_t>(rng.next() * 16);
+      s.erase(at, std::min(len, s.size() - at));
+    } else if (choice < 0.75) {
+      // Duplicate a span somewhere else.
+      size_t len = 1 + static_cast<size_t>(rng.next() * 16);
+      std::string span = s.substr(at, std::min(len, s.size() - at));
+      size_t to = static_cast<size_t>(rng.next() * static_cast<double>(s.size()));
+      s.insert(to, span);
+    } else if (choice < 0.9) {
+      // Insert a random vocabulary fragment.
+      s.insert(at, kVocabulary[static_cast<size_t>(rng.next() * kVocabularySize)]);
+    } else {
+      // Truncate (models a half-written file).
+      s.resize(at);
+    }
+  }
+  return s;
+}
+
+// -- corpus loading -----------------------------------------------------------
+
+std::optional<std::string> read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<fs::path> list_scripts(const fs::path& dir) {
+  std::vector<fs::path> out;
+  std::error_code ec;
+  for (const auto& e : fs::directory_iterator(dir, ec)) {
+    if (e.path().extension() == ".m") out.push_back(e.path());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// -- differential check -------------------------------------------------------
+
+/// Runs `source` through the interpreter and the compiled direct executor at
+/// np=1 and np=3; returns a problem description, or empty when all agree.
+std::string diff_one(const std::string& source) {
+  std::string interp_out;
+  try {
+    interp_out = otter::driver::run_interpreter(source, {}, 1).output;
+  } catch (const std::exception& e) {
+    return std::string("interpreter failed: ") + e.what();
+  }
+  otter::driver::CompileOptions copts;
+  auto c = otter::driver::compile_script(source, {}, copts);
+  if (!c->ok) {
+    return "valid corpus script failed to compile:\n" + c->diags.to_string();
+  }
+  otter::mpi::MachineProfile profile = otter::mpi::profile_by_name("ideal");
+  for (int np : {1, 3}) {
+    try {
+      auto run = otter::driver::run_parallel(c->lir, profile, np, {});
+      if (run.output != interp_out) {
+        return "np=" + std::to_string(np) +
+               " output diverges from the interpreter\n--- interp ---\n" +
+               interp_out + "--- direct ---\n" + run.output;
+      }
+    } catch (const std::exception& e) {
+      return "np=" + std::to_string(np) +
+             " execution failed: " + e.what();
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return usage();
+
+  Stats stats;
+  auto record = [&](const CompileOutcome& out, const char* label,
+                    const std::string& detail) {
+    ++stats.inputs;
+    if (out.ok) {
+      ++stats.accepted;
+    } else {
+      ++stats.rejected;
+    }
+    if (!out.problem.empty()) {
+      ++stats.failures;
+      std::cerr << "otterfuzz: FAIL [" << label << "] " << detail << ": "
+                << out.problem << '\n';
+    }
+  };
+
+  // 1. Seeded token soup.
+  for (uint64_t seed = opt.seed_lo; seed < opt.seed_hi; ++seed) {
+    std::string soup = gen_token_soup(seed, opt.max_tokens);
+    CompileOutcome out = check_compile(soup, opt.verbose, "soup");
+    record(out, "soup", "seed " + std::to_string(seed));
+  }
+
+  // 2. Corpus files, verbatim and mutated.
+  fs::path corpus_root = OTTER_FUZZ_CORPUS_DIR;
+  std::vector<fs::path> corpus = list_scripts(corpus_root / "valid");
+  std::vector<fs::path> invalid = list_scripts(corpus_root / "invalid");
+  corpus.insert(corpus.end(), invalid.begin(), invalid.end());
+  if (!opt.extra_corpus.empty()) {
+    std::vector<fs::path> extra = list_scripts(opt.extra_corpus);
+    corpus.insert(corpus.end(), extra.begin(), extra.end());
+  }
+  if (corpus.empty()) {
+    std::cerr << "otterfuzz: no corpus scripts found under " << corpus_root
+              << '\n';
+    return 1;
+  }
+  for (const fs::path& p : corpus) {
+    std::optional<std::string> text = read_file(p);
+    if (!text) continue;
+    CompileOutcome out = check_compile(*text, opt.verbose, "corpus");
+    record(out, "corpus", p.filename().string());
+    Lcg rng(std::hash<std::string>{}(p.filename().string()) ^ 0x9e3779b9);
+    for (int m = 0; m < opt.mutations; ++m) {
+      std::string mutated = mutate(*text, rng);
+      CompileOutcome mout = check_compile(mutated, opt.verbose, "mutate");
+      record(mout, "mutate",
+             p.filename().string() + " #" + std::to_string(m));
+    }
+  }
+
+  // 2b. Every invalid corpus script must be rejected (with a coded
+  // diagnostic — check_compile already enforced the code part).
+  for (const fs::path& p : invalid) {
+    std::optional<std::string> text = read_file(p);
+    if (!text) continue;
+    CompileOutcome out = check_compile(*text, opt.verbose, "invalid");
+    if (out.ok) {
+      ++stats.failures;
+      std::cerr << "otterfuzz: FAIL [invalid] " << p.filename().string()
+                << ": compiled cleanly but is expected to be rejected\n";
+    }
+  }
+
+  // 3. Differential check over the valid corpus.
+  if (opt.diff) {
+    for (const fs::path& p : list_scripts(corpus_root / "valid")) {
+      std::optional<std::string> text = read_file(p);
+      if (!text) continue;
+      std::string problem = diff_one(*text);
+      if (!problem.empty()) {
+        ++stats.failures;
+        std::cerr << "otterfuzz: FAIL [diff] " << p.filename().string() << ": "
+                  << problem << '\n';
+      } else if (opt.verbose) {
+        std::cerr << "otterfuzz: diff ok: " << p.filename().string() << '\n';
+      }
+    }
+  }
+
+  std::cerr << "otterfuzz: " << stats.inputs << " inputs ("
+            << stats.accepted << " accepted, " << stats.rejected
+            << " rejected), " << stats.failures << " failures\n";
+  return stats.failures == 0 ? 0 : 1;
+}
