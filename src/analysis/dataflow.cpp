@@ -1,0 +1,362 @@
+#include "analysis/dataflow.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace otter::analysis {
+
+namespace {
+
+using sema::Action;
+using sema::BasicBlock;
+using sema::Cfg;
+
+/// Collects every name assigned anywhere in the scope, mirroring
+/// sema::build_ssa's variable discovery: Assign targets, loop variables,
+/// the implicit `ans` of expression statements, and globals.
+void scope_assigned_names(const Cfg& cfg, std::unordered_set<std::string>& out) {
+  for (const BasicBlock& b : cfg.blocks) {
+    for (const Action& a : b.actions) {
+      if (a.kind == Action::Kind::LoopDef) {
+        out.insert(a.stmt->loop_var);
+      } else if (a.kind == Action::Kind::Statement) {
+        switch (a.stmt->kind) {
+          case StmtKind::Assign:
+            for (const LValue& t : a.stmt->targets) out.insert(t.name);
+            break;
+          case StmtKind::ExprStmt:
+            out.insert("ans");
+            break;
+          case StmtKind::Global:
+            for (const std::string& n : a.stmt->names) out.insert(n);
+            break;
+          default:
+            break;
+        }
+      }
+    }
+  }
+}
+
+class FactCollector {
+ public:
+  FactCollector(ScopeFacts& f, const std::unordered_set<std::string>& assigned)
+      : f_(f), assigned_(assigned) {}
+
+  /// A name is a variable of this scope if resolution marked it so, or (for
+  /// unresolved ASTs in unit tests) if it is assigned somewhere in the scope.
+  [[nodiscard]] bool is_var(const Expr& e) const {
+    if (e.callee == CalleeKind::Variable) return true;
+    return e.callee == CalleeKind::Unresolved && assigned_.contains(e.name);
+  }
+
+  void add_uses(const Expr& e, std::vector<VarRef>& into) {
+    switch (e.kind) {
+      case ExprKind::Ident:
+        if (is_var(e)) into.push_back({f_.vars.intern(e.name), e.loc});
+        break;
+      case ExprKind::Call:
+        if (is_var(e)) into.push_back({f_.vars.intern(e.name), e.loc});
+        for (const ExprPtr& a : e.args) add_uses(*a, into);
+        break;
+      case ExprKind::Unary:
+        add_uses(*e.lhs, into);
+        break;
+      case ExprKind::Binary:
+        add_uses(*e.lhs, into);
+        add_uses(*e.rhs, into);
+        break;
+      case ExprKind::Range:
+        add_uses(*e.lhs, into);
+        if (e.step) add_uses(*e.step, into);
+        add_uses(*e.rhs, into);
+        break;
+      case ExprKind::Matrix:
+        for (const auto& row : e.rows) {
+          for (const ExprPtr& el : row) add_uses(*el, into);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  ActionFacts collect(const Action& a) {
+    ActionFacts af;
+    if (a.kind == Action::Kind::Condition) {
+      add_uses(*a.cond, af.uses);
+      return af;
+    }
+    if (a.kind == Action::Kind::LoopDef) {
+      af.defs.push_back({f_.vars.intern(a.stmt->loop_var), a.stmt->loc});
+      return af;
+    }
+    const Stmt& s = *a.stmt;
+    switch (s.kind) {
+      case StmtKind::ExprStmt:
+        add_uses(*s.expr, af.uses);
+        af.defs.push_back({f_.vars.intern("ans"), s.loc});
+        break;
+      case StmtKind::Assign:
+        add_uses(*s.expr, af.uses);
+        for (const LValue& t : s.targets) {
+          int v = f_.vars.intern(t.name);
+          for (const ExprPtr& ix : t.indices) add_uses(*ix, af.uses);
+          if (t.indices.empty()) {
+            af.defs.push_back({v, t.loc});
+          } else {
+            af.base_uses.push_back({v, t.loc});
+            af.partial_defs.push_back({v, t.loc});
+          }
+          if (s.display) af.post_uses.push_back({v, t.loc});
+        }
+        break;
+      case StmtKind::Global:
+        // Globals bind dynamically; model the declaration as a definition so
+        // downstream analyses stay conservative about their values.
+        for (const std::string& n : s.names) {
+          af.defs.push_back({f_.vars.intern(n), s.loc});
+        }
+        break;
+      default:
+        break;
+    }
+    return af;
+  }
+
+ private:
+  ScopeFacts& f_;
+  const std::unordered_set<std::string>& assigned_;
+};
+
+}  // namespace
+
+ScopeFacts collect_facts(const Cfg& cfg,
+                         const std::vector<std::string>& entry_defs) {
+  ScopeFacts f;
+  f.cfg = &cfg;
+
+  std::unordered_set<std::string> assigned;
+  scope_assigned_names(cfg, assigned);
+  for (const std::string& p : entry_defs) assigned.insert(p);
+
+  FactCollector collector(f, assigned);
+  f.facts.resize(cfg.blocks.size());
+  for (const BasicBlock& b : cfg.blocks) {
+    auto& dst = f.facts[static_cast<size_t>(b.id)];
+    dst.reserve(b.actions.size());
+    for (const Action& a : b.actions) dst.push_back(collector.collect(a));
+  }
+  for (const std::string& p : entry_defs) {
+    f.entry_defs.push_back(f.vars.intern(p));
+  }
+  return f;
+}
+
+DataflowSolution solve(const Cfg& cfg, const DataflowProblem& p) {
+  const size_t nblocks = cfg.blocks.size();
+  DataflowSolution s;
+  s.in.assign(nblocks, BitVec(p.nbits));
+  s.out.assign(nblocks, BitVec(p.nbits));
+
+  bool forward = p.dir == DataflowProblem::Dir::Forward;
+  if (forward) {
+    s.in[static_cast<size_t>(cfg.entry)] = p.boundary;
+  } else {
+    s.out[static_cast<size_t>(cfg.exit)] = p.boundary;
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t b = 0; b < nblocks; ++b) {
+      const BasicBlock& blk = cfg.blocks[b];
+      if (forward) {
+        for (int pred : blk.preds) {
+          s.in[b].or_with(s.out[static_cast<size_t>(pred)]);
+        }
+        BitVec next = s.in[b];
+        next.subtract(p.kill[b]);
+        next.or_with(p.gen[b]);
+        if (!(next == s.out[b])) {
+          s.out[b] = std::move(next);
+          changed = true;
+        }
+      } else {
+        for (int succ : blk.succs) {
+          s.out[b].or_with(s.in[static_cast<size_t>(succ)]);
+        }
+        BitVec next = s.out[b];
+        next.subtract(p.kill[b]);
+        next.or_with(p.gen[b]);
+        if (!(next == s.in[b])) {
+          s.in[b] = std::move(next);
+          changed = true;
+        }
+      }
+    }
+  }
+  return s;
+}
+
+Liveness compute_liveness(const ScopeFacts& f, const BitVec& live_at_exit) {
+  const size_t nblocks = f.cfg->blocks.size();
+  const size_t nvars = f.vars.size();
+
+  DataflowProblem p;
+  p.dir = DataflowProblem::Dir::Backward;
+  p.nbits = nvars;
+  p.gen.assign(nblocks, BitVec(nvars));
+  p.kill.assign(nblocks, BitVec(nvars));
+  p.boundary = live_at_exit;
+
+  for (size_t b = 0; b < nblocks; ++b) {
+    // Upward-exposed uses: walk the block backward so an earlier kill hides
+    // a later use of the same variable.
+    BitVec gen(nvars), kill(nvars);
+    const auto& facts = f.facts[b];
+    for (size_t i = facts.size(); i-- > 0;) {
+      const ActionFacts& af = facts[i];
+      for (const VarRef& r : af.post_uses) gen.set(static_cast<size_t>(r.var));
+      for (const VarRef& r : af.defs) {
+        gen.reset(static_cast<size_t>(r.var));
+        kill.set(static_cast<size_t>(r.var));
+      }
+      for (const VarRef& r : af.uses) gen.set(static_cast<size_t>(r.var));
+      // Partial defs are non-killing: the old value still flows through the
+      // write, so they contribute neither gen nor kill beyond base_uses.
+      for (const VarRef& r : af.base_uses) gen.set(static_cast<size_t>(r.var));
+    }
+    p.gen[b] = std::move(gen);
+    p.kill[b] = std::move(kill);
+  }
+
+  DataflowSolution s = solve(*f.cfg, p);
+  Liveness l;
+  l.live_in = std::move(s.in);
+  l.live_out = std::move(s.out);
+  return l;
+}
+
+ReachingDefs compute_reaching(const ScopeFacts& f) {
+  const size_t nblocks = f.cfg->blocks.size();
+  const size_t nvars = f.vars.size();
+
+  ReachingDefs rd;
+  rd.entry_site.resize(nvars);
+  rd.sites_per_var.resize(nvars);
+
+  // One synthetic entry site per variable (a real definition for parameters,
+  // the "undefined" pseudo-definition for everything else).
+  for (size_t v = 0; v < nvars; ++v) {
+    rd.entry_site[v] = static_cast<int>(rd.sites.size());
+    rd.sites_per_var[v].push_back(rd.entry_site[v]);
+    rd.sites.push_back({static_cast<int>(v), -1, -1, {}, false});
+  }
+  // Real sites, in (block, action) order.
+  std::vector<std::vector<std::vector<int>>> action_sites(nblocks);
+  for (size_t b = 0; b < nblocks; ++b) {
+    action_sites[b].resize(f.facts[b].size());
+    for (size_t i = 0; i < f.facts[b].size(); ++i) {
+      const ActionFacts& af = f.facts[b][i];
+      auto add = [&](const VarRef& r, bool partial) {
+        int id = static_cast<int>(rd.sites.size());
+        rd.sites.push_back({r.var, static_cast<int>(b), static_cast<int>(i),
+                            r.loc, partial});
+        rd.sites_per_var[static_cast<size_t>(r.var)].push_back(id);
+        action_sites[b][i].push_back(id);
+      };
+      for (const VarRef& r : af.defs) add(r, false);
+      for (const VarRef& r : af.partial_defs) add(r, true);
+    }
+  }
+
+  const size_t nsites = rd.sites.size();
+  DataflowProblem p;
+  p.dir = DataflowProblem::Dir::Forward;
+  p.nbits = nsites;
+  p.gen.assign(nblocks, BitVec(nsites));
+  p.kill.assign(nblocks, BitVec(nsites));
+  p.boundary = BitVec(nsites);
+  for (size_t v = 0; v < nvars; ++v) {
+    p.boundary.set(static_cast<size_t>(rd.entry_site[v]));
+  }
+
+  for (size_t b = 0; b < nblocks; ++b) {
+    // Forward scan: a killing definition of v replaces every earlier site of
+    // v; partial definitions accumulate.
+    std::vector<std::vector<int>> local(nvars);
+    std::vector<char> killed(nvars, 0);
+    for (size_t i = 0; i < f.facts[b].size(); ++i) {
+      const ActionFacts& af = f.facts[b][i];
+      size_t k = 0;
+      for (const VarRef& r : af.defs) {
+        auto v = static_cast<size_t>(r.var);
+        local[v].clear();
+        local[v].push_back(action_sites[b][i][k++]);
+        killed[v] = 1;
+      }
+      for (const VarRef& r : af.partial_defs) {
+        local[static_cast<size_t>(r.var)].push_back(action_sites[b][i][k++]);
+      }
+    }
+    for (size_t v = 0; v < nvars; ++v) {
+      if (killed[v]) {
+        for (int s : rd.sites_per_var[v]) p.kill[b].set(static_cast<size_t>(s));
+      }
+      for (int s : local[v]) p.gen[b].set(static_cast<size_t>(s));
+    }
+  }
+
+  DataflowSolution s = solve(*f.cfg, p);
+  rd.reach_in = std::move(s.in);
+  rd.reach_out = std::move(s.out);
+  return rd;
+}
+
+UseDef compute_use_def(const ScopeFacts& f, const ReachingDefs& rd) {
+  UseDef ud;
+  const size_t nvars = f.vars.size();
+  // Site ids per (block, action), in the order compute_reaching assigned
+  // them (killing defs first, then partial defs).
+  std::vector<std::vector<std::vector<int>>> action_sites(f.facts.size());
+  for (size_t b = 0; b < f.facts.size(); ++b) {
+    action_sites[b].resize(f.facts[b].size());
+  }
+  for (size_t s = 0; s < rd.sites.size(); ++s) {
+    const DefSite& site = rd.sites[s];
+    if (site.block < 0) continue;  // synthetic entry site
+    action_sites[static_cast<size_t>(site.block)]
+                [static_cast<size_t>(site.action)]
+                    .push_back(static_cast<int>(s));
+  }
+  for (size_t b = 0; b < f.facts.size(); ++b) {
+    // Replay the block forward, tracking the sites currently reaching each
+    // variable.
+    std::vector<std::vector<int>> cur(nvars);
+    for (size_t v = 0; v < nvars; ++v) {
+      for (int s : rd.sites_per_var[v]) {
+        if (rd.reach_in[b].test(static_cast<size_t>(s))) cur[v].push_back(s);
+      }
+    }
+    for (size_t i = 0; i < f.facts[b].size(); ++i) {
+      const ActionFacts& af = f.facts[b][i];
+      for (const VarRef& r : af.uses) {
+        ud.uses.push_back({r.var, static_cast<int>(b), static_cast<int>(i),
+                           r.loc, cur[static_cast<size_t>(r.var)]});
+      }
+      size_t k = 0;
+      for (const VarRef& r : af.defs) {
+        auto v = static_cast<size_t>(r.var);
+        cur[v].clear();
+        cur[v].push_back(action_sites[b][i][k++]);
+      }
+      for (const VarRef& r : af.partial_defs) {
+        cur[static_cast<size_t>(r.var)].push_back(action_sites[b][i][k++]);
+      }
+    }
+  }
+  return ud;
+}
+
+}  // namespace otter::analysis

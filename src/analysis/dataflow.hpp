@@ -1,0 +1,186 @@
+// Generic forward/backward dataflow framework over sema::Cfg.
+//
+// The paper's compiler leans entirely on static analysis — SSA plus
+// type/rank/shape inference decide what becomes a run-time-library call —
+// but never audits the user's script or its own IR. This framework supplies
+// the classic bit-vector analyses (liveness, reaching definitions, use-def
+// chains) that the otterlint checks and the dead-statement elimination in
+// lower/ are built on.
+//
+// The unit of granularity is the CFG *action* (one statement, condition
+// evaluation, or loop-variable definition). Facts are extracted once per
+// scope into ScopeFacts; each analysis then reduces to per-block gen/kill
+// bit vectors handed to the generic iterative solver.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sema/ssa.hpp"
+#include "support/source.hpp"
+
+namespace otter::analysis {
+
+/// Dense fixed-width bit vector for dataflow sets.
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(size_t n) : n_(n), w_((n + 63) / 64, 0) {}
+
+  void set(size_t i) { w_[i >> 6] |= uint64_t{1} << (i & 63); }
+  void reset(size_t i) { w_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+  [[nodiscard]] bool test(size_t i) const {
+    return (w_[i >> 6] >> (i & 63)) & 1;
+  }
+  [[nodiscard]] size_t size() const { return n_; }
+
+  /// this |= o; returns true when any bit changed.
+  bool or_with(const BitVec& o) {
+    bool changed = false;
+    for (size_t i = 0; i < w_.size(); ++i) {
+      uint64_t merged = w_[i] | o.w_[i];
+      if (merged != w_[i]) {
+        w_[i] = merged;
+        changed = true;
+      }
+    }
+    return changed;
+  }
+  /// this &= ~o.
+  void subtract(const BitVec& o) {
+    for (size_t i = 0; i < w_.size(); ++i) w_[i] &= ~o.w_[i];
+  }
+
+  friend bool operator==(const BitVec&, const BitVec&) = default;
+
+ private:
+  size_t n_ = 0;
+  std::vector<uint64_t> w_;
+};
+
+/// Dense index of the variable names referenced in one scope.
+struct VarTable {
+  std::vector<std::string> names;
+  std::unordered_map<std::string, int> index;
+
+  int intern(const std::string& name) {
+    auto [it, inserted] = index.emplace(name, static_cast<int>(names.size()));
+    if (inserted) names.push_back(name);
+    return it->second;
+  }
+  [[nodiscard]] int id(const std::string& name) const {
+    auto it = index.find(name);
+    return it == index.end() ? -1 : it->second;
+  }
+  [[nodiscard]] size_t size() const { return names.size(); }
+};
+
+/// One variable reference inside an action, with the location a finding
+/// about the reference should be reported at.
+struct VarRef {
+  int var = -1;
+  SourceLoc loc;
+};
+
+/// Use/def facts for one CFG action. An indexed write `m(i) = v` reads the
+/// index expressions (uses), reads the incoming matrix (base_uses — the
+/// write is a read-modify-write), and defines `m` without killing earlier
+/// definitions (partial_defs). A displayed assignment `x = 5` (no ';')
+/// additionally reads its freshly assigned targets (post_uses).
+struct ActionFacts {
+  std::vector<VarRef> uses;
+  std::vector<VarRef> base_uses;
+  std::vector<VarRef> post_uses;
+  std::vector<VarRef> defs;          // whole-variable (killing)
+  std::vector<VarRef> partial_defs;  // indexed writes (non-killing)
+};
+
+/// Per-scope reference facts, aligned with cfg.blocks[b].actions.
+struct ScopeFacts {
+  const sema::Cfg* cfg = nullptr;
+  VarTable vars;
+  std::vector<std::vector<ActionFacts>> facts;  // [block][action index]
+  std::vector<int> entry_defs;  // var ids defined on scope entry (parameters)
+};
+
+/// Extracts use/def facts for a scope whose CFG was built by sema (the
+/// actions reference resolved AST nodes). `entry_defs` are names defined
+/// before the body runs — function parameters.
+ScopeFacts collect_facts(const sema::Cfg& cfg,
+                         const std::vector<std::string>& entry_defs = {});
+
+// -- generic solver -----------------------------------------------------------
+
+/// A forward or backward may-analysis: the solver computes the classic
+///   forward:  in[b]  = U out[p] for preds p;   out[b] = gen[b] | (in[b] - kill[b])
+///   backward: out[b] = U in[s] for succs s;    in[b]  = gen[b] | (out[b] - kill[b])
+/// fixpoint with `boundary` seeding in[entry] (forward) or out[exit]
+/// (backward).
+struct DataflowProblem {
+  enum class Dir { Forward, Backward };
+  Dir dir = Dir::Forward;
+  size_t nbits = 0;
+  std::vector<BitVec> gen, kill;  // one per block
+  BitVec boundary;
+};
+
+struct DataflowSolution {
+  std::vector<BitVec> in, out;  // one per block
+};
+
+DataflowSolution solve(const sema::Cfg& cfg, const DataflowProblem& p);
+
+// -- liveness -----------------------------------------------------------------
+
+/// Backward liveness over variable ids. `live_at_exit` models the scope's
+/// observable results: every variable for a script (the workspace persists),
+/// the declared outputs for a function.
+struct Liveness {
+  std::vector<BitVec> live_in, live_out;  // per block
+};
+
+Liveness compute_liveness(const ScopeFacts& f, const BitVec& live_at_exit);
+
+// -- reaching definitions -----------------------------------------------------
+
+/// One definition site. Every variable additionally gets one synthetic
+/// "undefined on entry" site (block == -1); a use reached by that site may
+/// read the variable before any assignment. For names in
+/// ScopeFacts::entry_defs the entry site is a real definition (a parameter).
+struct DefSite {
+  int var = -1;
+  int block = -1;   // -1: synthetic entry site
+  int action = -1;
+  SourceLoc loc;
+  bool partial = false;
+};
+
+struct ReachingDefs {
+  std::vector<DefSite> sites;                   // site id -> site
+  std::vector<int> entry_site;                  // var id -> entry site id
+  std::vector<std::vector<int>> sites_per_var;  // var id -> site ids
+  std::vector<BitVec> reach_in, reach_out;      // per block, over site ids
+};
+
+ReachingDefs compute_reaching(const ScopeFacts& f);
+
+// -- use-def chains -----------------------------------------------------------
+
+/// Every value use in the scope with the definition sites that reach it
+/// (index-expression and rhs reads; indexed-write base reads are excluded —
+/// an indexed write into a fresh variable is a definition, not a read).
+struct UseDef {
+  struct Use {
+    int var = -1;
+    int block = -1;
+    int action = -1;
+    SourceLoc loc;
+    std::vector<int> sites;  // reaching DefSite ids
+  };
+  std::vector<Use> uses;
+};
+
+UseDef compute_use_def(const ScopeFacts& f, const ReachingDefs& rd);
+
+}  // namespace otter::analysis

@@ -1,0 +1,35 @@
+// otterlint — static script analysis on top of the dataflow framework.
+//
+// Emits W3xxx warnings through DiagEngine:
+//   W3201  variable may be used before it is defined on some path
+//   W3202  dead store: the assigned value is never read
+//   W3203  unused variable
+//   W3204  unreachable code
+//   W3205  constant branch condition
+//   W3206  variable shadows a builtin function
+//   W3207  loop-invariant communication (the paper's hidden-cost check: a
+//          run-time-library call inside a loop whose operands are all
+//          defined outside it, reported with an estimated per-iteration
+//          message count from the local-vs-communicating classification)
+#pragma once
+
+#include "frontend/ast.hpp"
+#include "lower/lir.hpp"
+#include "sema/infer.hpp"
+#include "support/diag.hpp"
+
+namespace otter::analysis {
+
+struct LintOptions {
+  /// --Werror: report findings as errors instead of warnings.
+  bool werror = false;
+};
+
+/// Runs every lint check over a compiled program (the CFG/SSA from
+/// inference for the script-level checks, the LIR for the communication
+/// checks). Returns the number of findings reported.
+size_t run_lint(const Program& prog, const sema::InferResult& inf,
+                const lower::LProgram& lir, DiagEngine& diags,
+                const LintOptions& opts = {});
+
+}  // namespace otter::analysis

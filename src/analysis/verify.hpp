@@ -1,0 +1,30 @@
+// --verify-lir: structural self-check of the lowered IR.
+//
+// Lowering (paper passes 4-6) and the peephole optimizer promise the
+// executor and the C backend a small set of invariants; this verifier
+// enforces them after every compile so miscompiles surface as located
+// E6xxx diagnostics instead of wrong answers or crashes downstream:
+//   E6001  reference to a variable not declared in the scope
+//   E6002  compiler temporary (ML_tmpN) used before it is defined
+//   E6003  operand arity wrong for the opcode
+//   E6004  operand kind wrong (matrix where a scalar is expected, a matrix
+//          leaf in a replicated scalar tree, destination of the wrong kind)
+//   E6005  malformed control flow (break/continue outside a loop, if with
+//          no arms or a non-final else, loop without condition/bounds)
+//   E6006  run-time-library function call malformed (unknown instance,
+//          argument/result count or kind mismatch)
+//   E6007  malformed owner-guarded element write
+//   E6008  missing or malformed expression tree (elemwise/scalar trees,
+//          ragged matrix literals)
+#pragma once
+
+#include "lower/lir.hpp"
+#include "support/diag.hpp"
+
+namespace otter::analysis {
+
+/// Verifies every scope of a lowered program. Reports each violation
+/// through `diags` (as errors) and returns the number of violations.
+size_t verify_lir(const lower::LProgram& lir, DiagEngine& diags);
+
+}  // namespace otter::analysis

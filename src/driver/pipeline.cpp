@@ -6,6 +6,7 @@
 
 #include <time.h>
 
+#include "analysis/verify.hpp"
 #include "interp/interp.hpp"
 
 namespace otter::driver {
@@ -26,7 +27,7 @@ std::unique_ptr<CompileResult> compile_script(const std::string& source,
   // One gate per compilation: every pass shares the wall-clock deadline and
   // the structural limits, so pathological inputs degrade to a diagnostic.
   BudgetGate gate(opts.budget);
-  ParsedFile f = parse_string(source, r->sm, r->diags, "<script>", &gate);
+  ParsedFile f = parse_string(source, r->sm, r->diags, opts.source_name, &gate);
   if (r->diags.has_errors()) return r;
   r->prog.script = std::move(f.script);
   for (auto& fn : f.functions) {
@@ -41,6 +42,11 @@ std::unique_ptr<CompileResult> compile_script(const std::string& source,
   lower::LowerOptions lopts = opts.lower;
   lopts.budget = &gate;
   r->lir = lower::lower_program(r->prog, r->inf, r->diags, lopts);
+  // Structural self-check: any E6xxx report here is a compiler bug made
+  // visible, not a user error.
+  if (opts.verify_lir && !r->diags.has_errors()) {
+    analysis::verify_lir(r->lir, r->diags);
+  }
   r->ok = !r->diags.has_errors();
   return r;
 }

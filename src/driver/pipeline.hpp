@@ -31,6 +31,8 @@ struct CompileOptions {
   CompileBudget budget;      ///< resource limits shared by every pass
   bool strict_infer = false; ///< unresolvable shapes are errors, not guards
   size_t max_errors = 0;     ///< cap stored error diagnostics (0 = unlimited)
+  bool verify_lir = true;    ///< run the structural LIR verifier after lowering
+  std::string source_name = "<script>";  ///< buffer name for diagnostics
 };
 
 /// Compiles a MATLAB script through every pass. `loader` supplies user

@@ -55,6 +55,7 @@ class Lowerer {
     types_ = nullptr;
     cur_body_ = nullptr;
     if (opts_.peephole) run_peephole(out);
+    if (opts_.dse) run_dse(out);
     return out;
   }
 
@@ -1070,7 +1071,9 @@ class Lowerer {
           brk->arms.push_back(std::move(arm));
           body.push_back(std::move(brk));
         }
+        ++loop_depth_;
         for (StmtPtr& b : s.body) lower_stmt(*b);
+        --loop_depth_;
         cur_body_ = saved;
         in->body = std::move(body);
         cur_body_->push_back(std::move(in));
@@ -1091,16 +1094,26 @@ class Lowerer {
         std::vector<LInstrPtr>* saved = cur_body_;
         std::vector<LInstrPtr> body;
         cur_body_ = &body;
+        ++loop_depth_;
         for (StmtPtr& b : s.body) lower_stmt(*b);
+        --loop_depth_;
         cur_body_ = saved;
         in->body = std::move(body);
         cur_body_->push_back(std::move(in));
         return;
       }
       case StmtKind::Break:
+        if (loop_depth_ == 0) {
+          err("E4030", s.loc, "'break' outside of a loop");
+          return;
+        }
         emit(LOp::BreakOp, s.loc);
         return;
       case StmtKind::Continue:
+        if (loop_depth_ == 0) {
+          err("E4030", s.loc, "'continue' outside of a loop");
+          return;
+        }
         emit(LOp::ContinueOp, s.loc);
         return;
       case StmtKind::Return:
@@ -1340,6 +1353,7 @@ class Lowerer {
   const sema::ScopeTypes* types_ = nullptr;
   std::vector<LInstrPtr>* cur_body_ = nullptr;
   std::vector<LVarDecl> extra_locals_;
+  int loop_depth_ = 0;  // break/continue are only legal inside a loop
   int temps_ = 0;
   size_t instrs_ = 0;       // LIR instructions emitted (budget E0007)
   size_t ticks_ = 0;        // amortised wall-clock check counter

@@ -64,6 +64,16 @@ bool tree_is_zero(const LExpr& e) {
   return e.kind == LExpr::Kind::Imm && e.imm == 0.0;
 }
 
+/// The earlier of two source locations (an invalid location always loses),
+/// so a fused instruction reports at the first original statement it
+/// replaces and lint/verifier findings stay anchored to user code.
+SourceLoc earliest_loc(SourceLoc a, SourceLoc b) {
+  if (!a.valid()) return b;
+  if (!b.valid()) return a;
+  if (b.line < a.line || (b.line == a.line && b.col < a.col)) return b;
+  return a;
+}
+
 /// Applies the patterns to one instruction list; recurses into control flow.
 void peephole_body(std::vector<LInstrPtr>& body,
                    const std::unordered_map<std::string, int>& uses) {
@@ -92,7 +102,8 @@ void peephole_body(std::vector<LInstrPtr>& body,
       if (third.op == LOp::GetElem && third.linear && m_uses == 1 &&
           third.args[0].is_matrix && third.args[0].mat == next.dst &&
           third.args[1].scalar && tree_is_zero(*third.args[1].scalar)) {
-        auto dot = std::make_unique<LInstr>(LOp::DotProd, in.loc);
+        auto dot = std::make_unique<LInstr>(
+            LOp::DotProd, earliest_loc(earliest_loc(in.loc, next.loc), third.loc));
         dot->sdst = third.sdst;
         dot->args.push_back({});
         dot->args[0].is_matrix = true;
@@ -111,6 +122,7 @@ void peephole_body(std::vector<LInstrPtr>& body,
     if (next.op == LOp::VecMat && next.args[0].is_matrix &&
         next.args[0].mat == t) {
       next.args[0].mat = v;
+      next.loc = earliest_loc(next.loc, in.loc);
       body.erase(body.begin() + static_cast<long>(i));
       --i;
       continue;
@@ -118,6 +130,7 @@ void peephole_body(std::vector<LInstrPtr>& body,
     if (next.op == LOp::MatVec && next.args[1].is_matrix &&
         next.args[1].mat == t) {
       next.args[1].mat = v;
+      next.loc = earliest_loc(next.loc, in.loc);
       body.erase(body.begin() + static_cast<long>(i));
       --i;
       continue;
@@ -127,6 +140,7 @@ void peephole_body(std::vector<LInstrPtr>& body,
          (next.args[1].is_matrix && next.args[1].mat == t))) {
       if (next.args[0].mat == t) next.args[0].mat = v;
       if (next.args[1].mat == t) next.args[1].mat = v;
+      next.loc = earliest_loc(next.loc, in.loc);
       body.erase(body.begin() + static_cast<long>(i));
       --i;
       continue;

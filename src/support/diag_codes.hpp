@@ -1,0 +1,36 @@
+// Central registry of every diagnostic code the compiler can emit.
+//
+// Codes are grouped into numeric bands by compiler phase:
+//   E00xx  resource budgets (shared by every phase)
+//   E11xx  lexer
+//   E20xx  parser
+//   E30xx  identifier resolution
+//   E31xx  type/rank/shape inference (E3102/E3112 are warnings)
+//   W32xx  otterlint static-analysis warnings
+//   E40xx  lowering (subset restrictions, passes 4-6)
+//   E50xx  run time (executor, generated code, interpreter)
+//   E60xx  LIR verifier (--verify-lir structural self-checks)
+//
+// diag_registry_test asserts this table, the sources, and DESIGN.md's code
+// registry all agree, so the table is the single source of truth.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace otter {
+
+struct DiagCodeInfo {
+  std::string_view code;    // e.g. "E3104"
+  std::string_view band;    // required code prefix, e.g. "E31"
+  std::string_view phase;   // human-readable phase name
+  std::string_view summary; // one-line description
+};
+
+/// Every registered code, sorted ascending.
+const std::vector<DiagCodeInfo>& diag_code_registry();
+
+/// Registry entry for a code, or nullptr if unregistered.
+const DiagCodeInfo* find_diag_code(std::string_view code);
+
+}  // namespace otter

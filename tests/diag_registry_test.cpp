@@ -1,0 +1,118 @@
+// Diagnostic-code registry tests: the table in src/support/diag_codes.cpp
+// is the single source of truth. Every code is unique, sorted, inside its
+// numeric band, used somewhere in the sources, and documented in DESIGN.md;
+// conversely every code the sources can emit is registered.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "support/diag_codes.hpp"
+
+namespace otter {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p);
+  EXPECT_TRUE(in.good()) << "cannot open " << p;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Every quoted "[EW]dddd" literal in the .cpp/.hpp sources under src/ and
+/// tools/, excluding the registry table itself.
+std::set<std::string> codes_in_sources() {
+  const fs::path root = OTTER_SOURCE_ROOT;
+  const fs::path registry = root / "src" / "support" / "diag_codes.cpp";
+  const std::regex code_re("\"([EW][0-9]{4})\"");
+  std::set<std::string> found;
+  for (const char* top : {"src", "tools"}) {
+    for (const auto& e : fs::recursive_directory_iterator(root / top)) {
+      if (!e.is_regular_file()) continue;
+      const fs::path& p = e.path();
+      if (p.extension() != ".cpp" && p.extension() != ".hpp") continue;
+      if (fs::equivalent(p, registry)) continue;
+      const std::string text = slurp(p);
+      for (auto it = std::sregex_iterator(text.begin(), text.end(), code_re);
+           it != std::sregex_iterator(); ++it) {
+        found.insert((*it)[1].str());
+      }
+    }
+  }
+  return found;
+}
+
+TEST(DiagRegistry, SortedAndUnique) {
+  const auto& reg = diag_code_registry();
+  ASSERT_FALSE(reg.empty());
+  for (size_t i = 1; i < reg.size(); ++i) {
+    EXPECT_LT(reg[i - 1].code, reg[i].code)
+        << reg[i - 1].code << " vs " << reg[i].code;
+  }
+}
+
+TEST(DiagRegistry, EveryCodeWellFormedAndInBand) {
+  const std::regex shape("[EW][0-9]{4}");
+  for (const DiagCodeInfo& c : diag_code_registry()) {
+    EXPECT_TRUE(std::regex_match(std::string(c.code), shape)) << c.code;
+    EXPECT_TRUE(c.code.starts_with(c.band))
+        << c.code << " outside band " << c.band;
+    EXPECT_FALSE(c.phase.empty()) << c.code;
+    EXPECT_FALSE(c.summary.empty()) << c.code;
+  }
+}
+
+TEST(DiagRegistry, LookupFindsEveryCodeAndRejectsUnknown) {
+  for (const DiagCodeInfo& c : diag_code_registry()) {
+    const DiagCodeInfo* hit = find_diag_code(c.code);
+    ASSERT_NE(hit, nullptr) << c.code;
+    EXPECT_EQ(hit->code, c.code);
+  }
+  EXPECT_EQ(find_diag_code("E9999"), nullptr);
+  EXPECT_EQ(find_diag_code("W0000"), nullptr);
+  EXPECT_EQ(find_diag_code(""), nullptr);
+}
+
+TEST(DiagRegistry, LintAndVerifierBandsPresent) {
+  // The static-analysis additions: all seven W32xx lint checks and all
+  // eight E60xx verifier invariants are registered.
+  for (const char* code : {"W3201", "W3202", "W3203", "W3204", "W3205",
+                           "W3206", "W3207", "E6001", "E6002", "E6003",
+                           "E6004", "E6005", "E6006", "E6007", "E6008"}) {
+    EXPECT_NE(find_diag_code(code), nullptr) << code;
+  }
+}
+
+TEST(DiagRegistry, EveryEmittedCodeIsRegistered) {
+  for (const std::string& code : codes_in_sources()) {
+    EXPECT_NE(find_diag_code(code), nullptr)
+        << code << " is emitted in the sources but not registered";
+  }
+}
+
+TEST(DiagRegistry, EveryRegisteredCodeIsEmittedSomewhere) {
+  const std::set<std::string> used = codes_in_sources();
+  for (const DiagCodeInfo& c : diag_code_registry()) {
+    EXPECT_TRUE(used.contains(std::string(c.code)))
+        << c.code << " is registered but nothing emits it";
+  }
+}
+
+TEST(DiagRegistry, EveryCodeDocumentedInDesign) {
+  const std::string design =
+      slurp(fs::path(OTTER_SOURCE_ROOT) / "DESIGN.md");
+  for (const DiagCodeInfo& c : diag_code_registry()) {
+    EXPECT_NE(design.find(std::string(c.code)), std::string::npos)
+        << c.code << " missing from DESIGN.md";
+  }
+}
+
+}  // namespace
+}  // namespace otter

@@ -1,0 +1,9 @@
+% Negative case: no lint findings. The reduction operand changes every
+% iteration, every variable is read, every path defines before use.
+v = ones(32, 1);
+acc = 0;
+for k = 1:4
+  v = v * 2;
+  acc = acc + sum(v);
+end
+disp(acc);

@@ -1,0 +1,9 @@
+% Seeded defects: both branch conditions fold to compile-time constants
+% (W3205 at lines 4 and 7 -- 'n' is always 3, 'n - 3' is always zero).
+n = 3;
+if n
+  disp(n);
+end
+if n - 3
+  disp(0);
+end

@@ -1,0 +1,5 @@
+% Seeded defect: the first value of 'x' is overwritten before any read
+% (W3202 at line 3).
+x = 3;
+x = 4;
+disp(x);

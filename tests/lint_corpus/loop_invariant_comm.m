@@ -1,0 +1,10 @@
+% Seeded defect: sum(m) is a run-time reduction (one allreduce) whose
+% operand never changes inside the loop — it should be hoisted (W3207 at
+% line 7).
+m = ones(64, 1);
+acc = 0;
+for k = 1:10
+  total = sum(m);
+  acc = acc + total * k;
+end
+disp(acc);

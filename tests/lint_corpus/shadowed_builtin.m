@@ -1,0 +1,4 @@
+% Seeded defect: assigning to 'sum' hides the builtin reduction for the
+% whole script (W3206 at line 3).
+sum = 5;
+disp(sum);

@@ -1,0 +1,7 @@
+% Seeded defect: the statement after 'break' can never execute (W3204 at
+% line 5).
+for k = 1:10
+  break;
+  disp(42);
+end
+disp(1);

@@ -1,0 +1,6 @@
+% Seeded defect: 'waste' is computed and never read (W3203 at line 4).
+a = zeros(8, 8);
+b = ones(8, 8);
+waste = a * b;
+c = a + b;
+disp(c(1, 1));

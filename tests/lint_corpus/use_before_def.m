@@ -1,0 +1,7 @@
+% Seeded defect: 'y' is only assigned inside one branch, so the read after
+% the if may see an undefined variable (W3201 at line 7).
+x = 4;
+if x > 2
+  y = 1;
+end
+disp(y);

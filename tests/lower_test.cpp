@@ -132,6 +132,18 @@ TEST(Lower, GlobalRejected) {
   EXPECT_TRUE(compile_fails("global g;\ng = 1;"));
 }
 
+TEST(Lower, BreakOutsideLoopRejected) {
+  // Caught by the LIR verifier during fuzzing: a top-level break lowered
+  // to a BreakOp the executor has no loop to bind it to. Now rejected up
+  // front (the interpreter still accepts it and simply stops the script).
+  EXPECT_TRUE(compile_fails("break;"));
+  EXPECT_TRUE(compile_fails("x = 1;\nif x\n  continue;\nend"));
+  auto c = driver::compile_script("break;");
+  EXPECT_FALSE(c->ok);
+  EXPECT_NE(c->diags.to_string().find("E4030"), std::string::npos)
+      << c->diags.to_string();
+}
+
 TEST(Lower, MatrixPowerRejected) {
   EXPECT_TRUE(compile_fails("m = rand(3, 3); p = m^2; disp(p);"));
 }
@@ -144,6 +156,39 @@ TEST(Lower, InterpreterStillRunsRejectedConstructs) {
   auto run2 =
       driver::run_interpreter("v = 1:10; w = v([1, 5, 7]); disp(sum(w));");
   EXPECT_EQ(run2.output, "13\n");
+}
+
+
+TEST(Lower, PeepholeDotCarriesEarliestSourceLoc) {
+  // P1 folds transpose + multiply + element-read into one ML_dot; the
+  // fused instruction must keep the earliest location of the sequence so
+  // lint/verifier findings about it point at the right line. The `...`
+  // continuation spreads the statement over two lines.
+  auto c = driver::compile_script(
+      "x = rand(64, 1);\ny = rand(64, 1);\ns = x' ...\n  * y;\ndisp(s);");
+  ASSERT_TRUE(c->ok) << c->diags.to_string();
+  const LInstr* dot = nullptr;
+  for (const LInstrPtr& in : c->lir.script) {
+    if (in->op == LOp::DotProd) dot = in.get();
+  }
+  ASSERT_NE(dot, nullptr) << dump_lir(c->lir);
+  EXPECT_TRUE(dot->loc.valid());
+  EXPECT_EQ(dot->loc.line, 3u);
+}
+
+TEST(Lower, PeepholeTransposeDropKeepsEarliestSourceLoc) {
+  // P2 deletes the transpose feeding a vector-matrix multiply; the
+  // surviving multiply inherits the transpose's (earlier) location.
+  auto c = driver::compile_script(
+      "x = rand(8, 1);\nA = rand(8, 8);\nd = x' ...\n  * A;\ndisp(d(1));");
+  ASSERT_TRUE(c->ok) << c->diags.to_string();
+  const LInstr* vm = nullptr;
+  for (const LInstrPtr& in : c->lir.script) {
+    if (in->op == LOp::VecMat) vm = in.get();
+  }
+  ASSERT_NE(vm, nullptr) << dump_lir(c->lir);
+  EXPECT_TRUE(vm->loc.valid());
+  EXPECT_EQ(vm->loc.line, 3u);
 }
 
 }  // namespace

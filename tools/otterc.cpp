@@ -25,6 +25,13 @@
 //   --strict-infer         unresolvable shapes are compile errors instead of
 //                          runtime-guarded assumptions
 //   --budget-seconds=SECS  compile-time wall-clock budget (default 30)
+//   --lint                 run the otterlint static analysis and exit (W3xxx
+//                          findings; exit 0 clean, 1 findings)
+//   --Werror               report lint findings as errors (with --lint this
+//                          makes findings exit with code 65)
+//   --no-verify-lir        skip the post-lowering LIR self-verification
+//   --no-dse               disable the liveness-driven dead-statement
+//                          elimination
 //
 // Exit codes (sysexits-style so scripts and the fuzzer can triage):
 //   0  success
@@ -38,6 +45,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "analysis/lint.hpp"
 #include "codegen/ccrun.hpp"
 #include "codegen/emit.hpp"
 #include "driver/pipeline.hpp"
@@ -69,6 +77,10 @@ struct Options {
   size_t max_errors = 0;
   bool strict_infer = false;
   double budget_seconds = 30.0;
+  bool lint = false;
+  bool werror = false;
+  bool verify_lir = true;
+  bool dse = true;
 };
 
 int usage() {
@@ -78,7 +90,8 @@ int usage() {
       "              [--no-peephole] [--seed=N] [--times]\n"
       "              [--fault-plan=SPEC] [--timeout=SECS] [--retries=N]\n"
       "              [--diag-format=text|json] [--max-errors=N]\n"
-      "              [--strict-infer] [--budget-seconds=SECS]\n";
+      "              [--strict-infer] [--budget-seconds=SECS]\n"
+      "              [--lint] [--Werror] [--no-verify-lir] [--no-dse]\n";
   return kExitUsage;
 }
 
@@ -109,6 +122,10 @@ bool parse_args(int argc, char** argv, Options& o) try {
     } else if (a == "--no-peephole") o.peephole = false;
     else if (a == "--strict-infer") o.strict_infer = true;
     else if (a == "--times") o.times = true;
+    else if (a == "--lint") o.lint = true;
+    else if (a == "--Werror") o.werror = true;
+    else if (a == "--no-verify-lir") o.verify_lir = false;
+    else if (a == "--no-dse") o.dse = false;
     else if (!a.empty() && a[0] == '-') return false;
     else if (o.script_path.empty()) o.script_path = a;
     else return false;
@@ -190,14 +207,30 @@ int main(int argc, char** argv) {
 
     otter::driver::CompileOptions copts;
     copts.lower.peephole = opt.peephole;
+    // Lint wants the full LIR: DSE would delete the very dead stores and
+    // unused results the analysis reports on.
+    copts.lower.dse = opt.dse && !opt.lint;
     copts.strict_infer = opt.strict_infer;
     copts.max_errors = opt.max_errors;
     copts.budget.max_wall_seconds = opt.budget_seconds;
+    copts.verify_lir = opt.verify_lir;
+    copts.source_name = opt.script_path;
     auto compiled = otter::driver::compile_script(source, loader, copts);
     if (!compiled->ok) {
       print_diags(compiled->diags, opt);
       return kExitCompile;
     }
+
+    if (opt.lint) {
+      otter::analysis::LintOptions lopts;
+      lopts.werror = opt.werror;
+      size_t findings = otter::analysis::run_lint(
+          compiled->prog, compiled->inf, compiled->lir, compiled->diags, lopts);
+      if (!compiled->diags.empty()) print_diags(compiled->diags, opt);
+      if (findings == 0) return kExitOk;
+      return opt.werror ? kExitCompile : 1;
+    }
+
     if (!compiled->diags.empty()) {
       print_diags(compiled->diags, opt);  // warnings (e.g. degraded shapes)
     }

@@ -15,7 +15,14 @@
 //
 // Usage:
 //   otterfuzz [--seeds=LO:HI] [--mutations=N] [--corpus=DIR] [--no-diff]
-//             [--max-tokens=N] [--verbose]
+//             [--no-verify-lir] [--max-tokens=N] [--verbose]
+//
+// Every accepted compile is additionally run through the structural LIR
+// verifier (--verify-lir semantics): a verification failure on an input the
+// compiler accepted is a miscompile and counts as a failure, never as a
+// legitimate rejection. The differential check also replays each valid
+// script with dead-statement elimination enabled, so the optimizer is
+// differentially tested too.
 //
 // Exit status: 0 when every check passed, 1 otherwise. The tool is
 // deterministic for a given flag set, so CI failures replay locally.
@@ -28,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/verify.hpp"
 #include "driver/pipeline.hpp"
 #include "support/rng.hpp"
 
@@ -46,6 +54,7 @@ struct Options {
   int mutations = 25;          // per corpus file
   std::string extra_corpus;    // additional directory of .m seeds
   bool diff = true;
+  bool verify = true;          // structural LIR verification of accepts
   size_t max_tokens = 256;
   bool verbose = false;
 };
@@ -59,8 +68,8 @@ struct Stats {
 
 int usage() {
   std::cerr << "usage: otterfuzz [--seeds=LO:HI] [--mutations=N]\n"
-               "                 [--corpus=DIR] [--no-diff] [--max-tokens=N]\n"
-               "                 [--verbose]\n";
+               "                 [--corpus=DIR] [--no-diff] [--no-verify-lir]\n"
+               "                 [--max-tokens=N] [--verbose]\n";
   return 2;
 }
 
@@ -85,6 +94,8 @@ bool parse_args(int argc, char** argv, Options& o) try {
       o.max_tokens = std::stoull(*v);
     } else if (a == "--no-diff") {
       o.diff = false;
+    } else if (a == "--no-verify-lir") {
+      o.verify = false;
     } else if (a == "--verbose") {
       o.verbose = true;
     } else {
@@ -106,13 +117,21 @@ struct CompileOutcome {
 };
 
 CompileOutcome check_compile(const std::string& source, bool verbose,
-                             const char* label) {
+                             const char* label, bool verify) {
   CompileOutcome out;
   otter::driver::CompileOptions copts;
   copts.budget.max_wall_seconds = 5.0;  // a hang becomes a diagnostic
+  // Verify explicitly below: verification inside compile_script would turn
+  // a verifier finding into an ordinary rejection and mask the miscompile.
+  copts.verify_lir = false;
   try {
     auto c = otter::driver::compile_script(source, {}, copts);
     out.ok = c->ok;
+    if (c->ok && verify &&
+        otter::analysis::verify_lir(c->lir, c->diags) != 0) {
+      out.problem =
+          "accepted input fails LIR verification:\n" + c->diags.to_string();
+    }
     if (!c->ok) {
       if (!c->diags.has_errors()) {
         out.problem = "rejected input but produced no error diagnostic";
@@ -233,23 +252,30 @@ std::string diff_one(const std::string& source) {
   } catch (const std::exception& e) {
     return std::string("interpreter failed: ") + e.what();
   }
-  otter::driver::CompileOptions copts;
-  auto c = otter::driver::compile_script(source, {}, copts);
-  if (!c->ok) {
-    return "valid corpus script failed to compile:\n" + c->diags.to_string();
-  }
   otter::mpi::MachineProfile profile = otter::mpi::profile_by_name("ideal");
-  for (int np : {1, 3}) {
-    try {
-      auto run = otter::driver::run_parallel(c->lir, profile, np, {});
-      if (run.output != interp_out) {
-        return "np=" + std::to_string(np) +
-               " output diverges from the interpreter\n--- interp ---\n" +
-               interp_out + "--- direct ---\n" + run.output;
+  // Pass 1: the LIR exactly as lowered. Pass 2: with dead-statement
+  // elimination, so the optimizer is differentially tested against the same
+  // oracle.
+  for (bool dse : {false, true}) {
+    otter::driver::CompileOptions copts;
+    copts.lower.dse = dse;
+    auto c = otter::driver::compile_script(source, {}, copts);
+    if (!c->ok) {
+      return std::string("valid corpus script failed to compile") +
+             (dse ? " (dse)" : "") + ":\n" + c->diags.to_string();
+    }
+    for (int np : {1, 3}) {
+      try {
+        auto run = otter::driver::run_parallel(c->lir, profile, np, {});
+        if (run.output != interp_out) {
+          return "np=" + std::to_string(np) + (dse ? " (dse)" : "") +
+                 " output diverges from the interpreter\n--- interp ---\n" +
+                 interp_out + "--- direct ---\n" + run.output;
+        }
+      } catch (const std::exception& e) {
+        return "np=" + std::to_string(np) + (dse ? " (dse)" : "") +
+               " execution failed: " + e.what();
       }
-    } catch (const std::exception& e) {
-      return "np=" + std::to_string(np) +
-             " execution failed: " + e.what();
     }
   }
   return {};
@@ -280,7 +306,7 @@ int main(int argc, char** argv) {
   // 1. Seeded token soup.
   for (uint64_t seed = opt.seed_lo; seed < opt.seed_hi; ++seed) {
     std::string soup = gen_token_soup(seed, opt.max_tokens);
-    CompileOutcome out = check_compile(soup, opt.verbose, "soup");
+    CompileOutcome out = check_compile(soup, opt.verbose, "soup", opt.verify);
     record(out, "soup", "seed " + std::to_string(seed));
   }
 
@@ -301,12 +327,13 @@ int main(int argc, char** argv) {
   for (const fs::path& p : corpus) {
     std::optional<std::string> text = read_file(p);
     if (!text) continue;
-    CompileOutcome out = check_compile(*text, opt.verbose, "corpus");
+    CompileOutcome out = check_compile(*text, opt.verbose, "corpus", opt.verify);
     record(out, "corpus", p.filename().string());
     Lcg rng(std::hash<std::string>{}(p.filename().string()) ^ 0x9e3779b9);
     for (int m = 0; m < opt.mutations; ++m) {
       std::string mutated = mutate(*text, rng);
-      CompileOutcome mout = check_compile(mutated, opt.verbose, "mutate");
+      CompileOutcome mout =
+          check_compile(mutated, opt.verbose, "mutate", opt.verify);
       record(mout, "mutate",
              p.filename().string() + " #" + std::to_string(m));
     }
@@ -317,7 +344,7 @@ int main(int argc, char** argv) {
   for (const fs::path& p : invalid) {
     std::optional<std::string> text = read_file(p);
     if (!text) continue;
-    CompileOutcome out = check_compile(*text, opt.verbose, "invalid");
+    CompileOutcome out = check_compile(*text, opt.verbose, "invalid", opt.verify);
     if (out.ok) {
       ++stats.failures;
       std::cerr << "otterfuzz: FAIL [invalid] " << p.filename().string()

@@ -1,0 +1,109 @@
+// otterlint — standalone static analyzer for Otter MATLAB scripts.
+//
+// Compiles the script through the full pipeline (the lint checks need the
+// CFG/SSA from inference and the lowered LIR for the communication
+// analysis), runs every W3xxx check, and prints the findings to stdout in
+// text or JSON.
+//
+// Usage:
+//   otterlint SCRIPT.m [--diag-format=text|json] [--Werror]
+//
+// Exit codes:
+//   0  clean (no findings)
+//   1  findings reported (65 instead under --Werror)
+//   64 usage error
+//   65 the script does not compile (diagnostics printed)
+//   66 the input file could not be opened
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+
+#include "analysis/lint.hpp"
+#include "driver/pipeline.hpp"
+
+namespace {
+
+constexpr int kExitClean = 0;
+constexpr int kExitFindings = 1;
+constexpr int kExitUsage = 64;
+constexpr int kExitCompile = 65;
+constexpr int kExitNoInput = 66;
+
+struct Options {
+  std::string script_path;
+  std::string diag_format = "text";
+  bool werror = false;
+};
+
+int usage() {
+  std::cerr << "usage: otterlint SCRIPT.m [--diag-format=text|json]"
+               " [--Werror]\n";
+  return kExitUsage;
+}
+
+bool parse_args(int argc, char** argv, Options& o) {
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto value = [&](const char* prefix) -> std::optional<std::string> {
+      size_t n = std::strlen(prefix);
+      if (a.rfind(prefix, 0) == 0) return a.substr(n);
+      return std::nullopt;
+    };
+    if (auto v = value("--diag-format=")) o.diag_format = *v;
+    else if (a == "--Werror") o.werror = true;
+    else if (!a.empty() && a[0] == '-') return false;
+    else if (o.script_path.empty()) o.script_path = a;
+    else return false;
+  }
+  if (o.diag_format != "text" && o.diag_format != "json") return false;
+  return !o.script_path.empty();
+}
+
+std::string dirname_of(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+
+void print_diags(const otter::DiagEngine& diags, const Options& opt) {
+  if (opt.diag_format == "json") {
+    diags.print_json(std::cout);
+  } else {
+    diags.print(std::cout);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return usage();
+
+  std::ifstream in(opt.script_path);
+  if (!in) {
+    std::cerr << "otterlint: cannot open " << opt.script_path << '\n';
+    return kExitNoInput;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+
+  otter::driver::CompileOptions copts;
+  copts.source_name = opt.script_path;
+  // Analysis wants the full LIR, exactly as lowered.
+  copts.lower.dse = false;
+  auto compiled = otter::driver::compile_script(
+      ss.str(), otter::driver::dir_loader(dirname_of(opt.script_path)), copts);
+  if (!compiled->ok) {
+    print_diags(compiled->diags, opt);
+    return kExitCompile;
+  }
+
+  otter::analysis::LintOptions lopts;
+  lopts.werror = opt.werror;
+  size_t findings = otter::analysis::run_lint(
+      compiled->prog, compiled->inf, compiled->lir, compiled->diags, lopts);
+  if (!compiled->diags.empty()) print_diags(compiled->diags, opt);
+  if (findings == 0) return kExitClean;
+  return opt.werror ? kExitCompile : kExitFindings;
+}
