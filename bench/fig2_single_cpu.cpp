@@ -15,10 +15,14 @@ using namespace otter::bench;
 
 /// Single-CPU seconds of the compiled script (1 rank, ideal network = pure
 /// compute time).
-double compiled_1cpu(const std::string& source, bool peephole) {
-  lower::LowerOptions lopts;
-  lopts.peephole = peephole;
-  auto compiled = driver::compile_script(source, {}, lopts);
+double compiled_1cpu(const std::string& source, bool full_pipeline) {
+  driver::CompileOptions copts;
+  // The MATCOM stand-in translates statement-at-a-time: no peephole
+  // rewriting and no LIR optimizer. The Otter column runs the default
+  // pipeline (peephole + -O2).
+  copts.lower.peephole = full_pipeline;
+  if (!full_pipeline) copts.opt.level = 0;
+  auto compiled = driver::compile_script(source, {}, copts);
   if (!compiled->ok) {
     std::cerr << "fig2: compile failed:\n" << compiled->diags.to_string();
     std::exit(1);
@@ -42,7 +46,8 @@ double compiled_1cpu(const std::string& source, bool peephole) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_bench_args(argc, argv);
   std::printf("=== Figure 2: relative performance on a single CPU ===\n");
   std::printf("(interpreter = 1.0; higher is better; the paper shows Otter\n"
               " beating the interpreter on all four scripts and splitting\n"
@@ -63,12 +68,18 @@ int main() {
   for (const App& app : apps) {
     std::string source = load_script(app.file);
     driver::InterpRun interp = driver::run_interpreter(source);
-    double matcom = compiled_1cpu(source, /*peephole=*/false);
-    double otter = compiled_1cpu(source, /*peephole=*/true);
+    double matcom = compiled_1cpu(source, /*full_pipeline=*/false);
+    double otter = compiled_1cpu(source, /*full_pipeline=*/true);
+    std::string id = std::string("fig2_") + app.file;
+    bench_records().push_back(
+        {id, "interpreter", 1, 0, interp.cpu_seconds, 0, "interpreter"});
+    bench_records().push_back({id, "1cpu", 1, 0, matcom, 0, "matcom-like"});
+    bench_records().push_back({id, "1cpu", 1, 0, otter, 0, "otter"});
     std::printf("%-22s %14.2f %14.2f %14.2f\n", app.label, 1.0,
                 interp.cpu_seconds / matcom, interp.cpu_seconds / otter);
     std::fflush(stdout);
   }
   std::printf("\n");
+  write_bench_json();
   return 0;
 }

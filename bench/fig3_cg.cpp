@@ -2,9 +2,11 @@
 // script relative to the MATLAB interpreter on a single CPU.
 #include "figure_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace otter::bench;
+  parse_bench_args(argc, argv);
   run_speedup_figure("Figure 3", "conjugate gradient (n = 2048)", "cg.m",
-                     load_script("cg.m"));
+                     load_script("cg.m"), "fig3_cg", 2048);
+  write_bench_json();
   return 0;
 }

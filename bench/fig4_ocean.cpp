@@ -5,9 +5,11 @@
 // communication").
 #include "figure_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace otter::bench;
+  parse_bench_args(argc, argv);
   run_speedup_figure("Figure 4", "ocean engineering wave force (n = 16384)",
-                     "ocean.m", load_script("ocean.m"));
+                     "ocean.m", load_script("ocean.m"), "fig4_ocean", 16384);
+  write_bench_json();
   return 0;
 }

@@ -2,9 +2,11 @@
 // Also O(n) per step; exercises mean() and the run-time broadcast.
 #include "figure_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace otter::bench;
+  parse_bench_args(argc, argv);
   run_speedup_figure("Figure 5", "n-body simulation (n = 5000)", "nbody.m",
-                     load_script("nbody.m"));
+                     load_script("nbody.m"), "fig5_nbody", 5000);
+  write_bench_json();
   return 0;
 }

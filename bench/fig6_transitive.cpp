@@ -3,9 +3,11 @@
 // ("78 times faster on 16 nodes of the Meiko CS-2").
 #include "figure_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace otter::bench;
+  parse_bench_args(argc, argv);
   run_speedup_figure("Figure 6", "transitive closure (n = 384)", "transclos.m",
-                     load_script("transclos.m"));
+                     load_script("transclos.m"), "fig6_transitive", 384);
+  write_bench_json();
   return 0;
 }

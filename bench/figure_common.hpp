@@ -23,6 +23,73 @@
 
 namespace otter::bench {
 
+// -- JSON reporting -----------------------------------------------------------
+// Every bench binary accepts --json=<path>; measured points accumulate into
+// a flat record list written as a JSON array on exit (scripts/run_bench.sh
+// aggregates the per-binary files into BENCH_otter.json).
+
+struct BenchRecord {
+  std::string bench;    ///< benchmark id, e.g. "fig3_cg"
+  std::string machine;  ///< machine profile name ("-" when not applicable)
+  int p = 0;            ///< rank count
+  long size = 0;        ///< problem size (0 = script default)
+  double seconds = 0;   ///< elapsed seconds (virtual or wall, per bench)
+  uint64_t comm_ops = 0;  ///< total communication ops across ranks
+  std::string backend;  ///< "generated-c", "executor", "interpreter", ...
+};
+
+inline std::vector<BenchRecord>& bench_records() {
+  static std::vector<BenchRecord> records;
+  return records;
+}
+
+inline std::string& bench_json_path() {
+  static std::string path;
+  return path;
+}
+
+/// Parses common bench flags (currently --json=<path>). Unknown arguments
+/// are ignored so binaries stay forward compatible.
+inline void parse_bench_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) bench_json_path() = arg.substr(7);
+  }
+}
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// Writes accumulated records to the --json path (no-op without the flag).
+inline void write_bench_json() {
+  if (bench_json_path().empty()) return;
+  std::ofstream out(bench_json_path());
+  if (!out) {
+    std::cerr << "cannot write " << bench_json_path() << '\n';
+    std::exit(1);
+  }
+  out << "[\n";
+  const std::vector<BenchRecord>& rs = bench_records();
+  for (size_t i = 0; i < rs.size(); ++i) {
+    const BenchRecord& r = rs[i];
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6f", r.seconds);
+    out << "  {\"bench\": \"" << json_escape(r.bench) << "\", \"machine\": \""
+        << json_escape(r.machine) << "\", \"p\": " << r.p
+        << ", \"size\": " << r.size << ", \"seconds\": " << buf
+        << ", \"comm_ops\": " << r.comm_ops << ", \"backend\": \""
+        << json_escape(r.backend) << "\"}" << (i + 1 < rs.size() ? "," : "")
+        << "\n";
+  }
+  out << "]\n";
+}
+
 inline std::string scripts_dir() {
 #ifdef OTTER_SCRIPTS_DIR
   return OTTER_SCRIPTS_DIR;
@@ -54,11 +121,15 @@ inline std::string with_size(std::string script, const std::string& var,
          script.substr(end);
 }
 
-/// One compiled workload ready to run on any (machine, P) point.
+/// One compiled workload ready to run on any (machine, P) point. Compiles
+/// through the full default pipeline (-O2); pass CompileOptions to measure
+/// other optimization levels.
 class Workload {
  public:
-  explicit Workload(std::string source) : source_(std::move(source)) {
-    compiled_ = driver::compile_script(source_);
+  explicit Workload(std::string source,
+                    const driver::CompileOptions& copts = {})
+      : source_(std::move(source)) {
+    compiled_ = driver::compile_script(source_, {}, copts);
     if (!compiled_->ok) {
       std::cerr << "benchmark script failed to compile:\n"
                 << compiled_->diags.to_string();
@@ -85,17 +156,21 @@ class Workload {
   }
 
   /// Max-rank virtual time of the compiled program on `profile` x `np`.
+  /// `ops_out`, when set, receives the run's total communication-op count.
   double compiled_seconds(const mpi::MachineProfile& profile, int np,
-                          const driver::ExecOptions& opts = {}) {
+                          const driver::ExecOptions& opts = {},
+                          uint64_t* ops_out = nullptr) {
     if (program_) {
       std::ostringstream out;
       mpi::RunResult r = mpi::run_spmd(profile, np, [&](mpi::Comm& comm) {
         program_->run(comm, out, opts);
       });
+      if (ops_out) *ops_out = r.total_ops();
       return r.max_vtime();
     }
     driver::ParallelRun r =
         driver::run_parallel(compiled_->lir, profile, np, opts);
+    if (ops_out) *ops_out = r.times.total_ops();
     return r.times.max_vtime();
   }
 
@@ -121,17 +196,26 @@ inline std::vector<MachinePoints> paper_machines() {
   };
 }
 
-/// Prints one paper speedup figure as a table.
+/// Prints one paper speedup figure as a table. `bench_id` names the
+/// figure's records in the JSON report; `size` is the problem size recorded
+/// there (0 = script default).
 inline void run_speedup_figure(const std::string& figure_id,
                                const std::string& title,
                                const std::string& script_name,
-                               std::string source) {
+                               std::string source,
+                               const std::string& bench_id = "",
+                               long size = 0) {
   std::printf("=== %s: %s ===\n", figure_id.c_str(), title.c_str());
   std::printf("script: %s\n", script_name.c_str());
 
+  std::string id = bench_id.empty() ? script_name : bench_id;
   Workload work(std::move(source));
   double interp = work.interpreter_seconds();
+  bench_records().push_back(
+      {id, "interpreter", 1, size, interp, 0, "interpreter"});
   std::printf("MATLAB-interpreter stand-in, 1 CPU: %.3f s\n", interp);
+  std::string backend =
+      work.uses_generated_code() ? "generated-c" : "executor";
   std::printf("backend: %s\n", work.uses_generated_code()
                                    ? "generated C (host compiler)"
                                    : "direct executor");
@@ -151,7 +235,10 @@ inline void run_speedup_figure(const std::string& figure_id,
         std::printf("%8s", "-");
         continue;
       }
-      double t = work.compiled_seconds(m.profile, p);
+      uint64_t ops = 0;
+      double t = work.compiled_seconds(m.profile, p, {}, &ops);
+      bench_records().push_back(
+          {id, m.profile.name, p, size, t, ops, backend});
       std::printf("%8.1f", baseline / t);
       std::fflush(stdout);
     }

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Runs the paper-figure benchmarks plus the optimizer micro-benchmarks and
+# aggregates every binary's --json report into one BENCH_otter.json.
+#
+# Usage: scripts/run_bench.sh [build-dir] [output.json]
+#   build-dir    CMake build tree containing bench/ binaries (default: build)
+#   output.json  aggregated report path (default: BENCH_otter.json)
+#
+# Each record is {bench, machine, p, size, seconds, comm_ops, backend}.
+set -euo pipefail
+
+build_dir="${1:-build}"
+out="${2:-BENCH_otter.json}"
+
+if [[ ! -d "${build_dir}/bench" ]]; then
+  echo "run_bench.sh: no ${build_dir}/bench — build the project first" >&2
+  exit 1
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "${tmp}"' EXIT
+
+benches=(micro_opt fig2_single_cpu fig3_cg fig4_ocean fig5_nbody
+         fig6_transitive)
+
+for b in "${benches[@]}"; do
+  bin="${build_dir}/bench/${b}"
+  if [[ ! -x "${bin}" ]]; then
+    echo "run_bench.sh: skipping ${b} (not built)" >&2
+    continue
+  fi
+  echo "== ${b} =="
+  "${bin}" "--json=${tmp}/${b}.json"
+done
+
+python3 - "${tmp}" "${out}" <<'EOF'
+import json, pathlib, sys
+
+tmp, out = pathlib.Path(sys.argv[1]), pathlib.Path(sys.argv[2])
+records = []
+for part in sorted(tmp.glob("*.json")):
+    records.extend(json.loads(part.read_text()))
+out.write_text(json.dumps(records, indent=1) + "\n")
+print(f"wrote {out} ({len(records)} records)")
+EOF

@@ -413,12 +413,25 @@ class Linter {
         }
         if (invariant) {
           std::string target = in.sdst.empty() ? in.dst : in.sdst;
-          report("W3207", in.loc,
-                 "loop-invariant communication: '" + target + " = " +
-                     lower::lop_name(in.op) +
-                     "(...)' depends only on values defined outside the "
-                     "loop; hoisting it saves " +
-                     comm_cost(in.op) + " per iteration");
+          std::string msg = "loop-invariant communication: '" + target +
+                            " = " + lower::lop_name(in.op) +
+                            "(...)' depends only on values defined outside "
+                            "the loop; hoisting it saves " +
+                            comm_cost(in.op) + " per iteration";
+          bool hoisted = false;
+          for (const SourceLoc& h : opts_.hoisted) {
+            if (h.line == in.loc.line) {
+              hoisted = true;
+              break;
+            }
+          }
+          if (hoisted) {
+            diags_.note("W3207", in.loc,
+                        msg + " (already hoisted by the optimizer at the "
+                              "selected -O level)");
+          } else {
+            report("W3207", in.loc, std::move(msg));
+          }
         }
       }
       for (const lower::LIfArm& arm : in.arms) walk_comm(arm.body, loop_defs);

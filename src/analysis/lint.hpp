@@ -13,6 +13,8 @@
 //          message count from the local-vs-communicating classification)
 #pragma once
 
+#include <vector>
+
 #include "frontend/ast.hpp"
 #include "lower/lir.hpp"
 #include "sema/infer.hpp"
@@ -23,6 +25,11 @@ namespace otter::analysis {
 struct LintOptions {
   /// --Werror: report findings as errors instead of warnings.
   bool werror = false;
+  /// Optimizer cross-link: source lines where LICM already hoisted the
+  /// loop-invariant call at the requested -O level. A W3207 finding on one
+  /// of these lines is downgraded to a note and not counted as a finding
+  /// (the compiler performs the fix the warning would ask for).
+  std::vector<SourceLoc> hoisted;
 };
 
 /// Runs every lint check over a compiled program (the CFG/SSA from

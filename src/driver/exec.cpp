@@ -4,7 +4,9 @@
 #include <cstdio>
 #include <ostream>
 #include <unordered_map>
+#include <vector>
 
+#include "driver/kernel.hpp"
 #include "support/rng.hpp"
 
 namespace otter::driver {
@@ -134,6 +136,67 @@ class Executor {
       if (const DMat* m = tree_shape(*e.b, f)) return m;
     }
     return nullptr;
+  }
+
+  // -- compiled kernels -----------------------------------------------------------
+
+  /// Compiles (once) and caches the kernel for an Elemwise/ScalarAssign
+  /// statement. LInstr nodes are pointer-stable (owned via unique_ptr), so
+  /// the instruction address keys the cache.
+  const Kernel& kernel_for(const LInstr& in) {
+    auto it = kernels_.find(&in);
+    if (it != kernels_.end()) return it->second;
+    return kernels_.emplace(&in, compile_kernel(*in.tree)).first->second;
+  }
+
+  /// Evaluates a kernel's scalar slots once per statement into kscalar_vals_.
+  void bind_scalar_slots(const Kernel& k, Frame& f) {
+    kscalar_vals_.resize(k.scalars.size());
+    for (size_t i = 0; i < k.scalars.size(); ++i) {
+      kscalar_vals_[i] = eval_scalar(*k.scalars[i], f);
+    }
+  }
+
+  Flow exec_elemwise_kernel(const LInstr& in, Frame& f, const Kernel& k) {
+    // mats.front() is the pre-order first matrix leaf, i.e. the same shape
+    // source tree_shape() would pick.
+    const DMat& proto = mat(f, k.mats.front());
+    size_t n = proto.local_elements();
+    kmat_ptrs_.resize(k.mats.size());
+    size_t bad_slot = k.mats.size();
+    size_t bad_n = n;
+    for (size_t i = 0; i < k.mats.size(); ++i) {
+      const DMat& m = mat(f, k.mats[i]);
+      if (m.local_elements() < bad_n) {  // strict <: earliest slot wins ties,
+        bad_n = m.local_elements();      // matching the tree walker's order
+        bad_slot = i;
+      }
+      kmat_ptrs_[i] = m.local().data();
+    }
+    if (n > 0 && bad_slot < k.mats.size()) {
+      fail("element-wise operand '" + k.mats[bad_slot] + "' misaligned");
+    }
+    bind_scalar_slots(k, f);
+    kstack_.resize(k.max_stack);
+    DMat& dst = mat(f, in.dst);
+    if (dst.aligned_with(proto)) {
+      // In place: element l only reads index l of its operands before
+      // writing index l, so dst may alias an operand buffer.
+      auto ov = dst.local();
+      for (size_t l = 0; l < n; ++l) {
+        ov[l] = k.eval(kmat_ptrs_.data(), kscalar_vals_.data(),
+                       kstack_.data(), l);
+      }
+      return Flow::Normal;
+    }
+    DMat out(comm_, proto.rows(), proto.cols(), proto.layout().dist());
+    auto ov = out.local();
+    for (size_t l = 0; l < n; ++l) {
+      ov[l] = k.eval(kmat_ptrs_.data(), kscalar_vals_.data(),
+                     kstack_.data(), l);
+    }
+    mat(f, in.dst) = std::move(out);
+    return Flow::Normal;
   }
 
   double operand_scalar(const LOperand& o, Frame& f) {
@@ -391,6 +454,10 @@ class Executor {
         mat(f, in.dst) = operand_mat(in.args[0], f);
         return Flow::Normal;
       case LOp::Elemwise: {
+        if (opts_.kernels) {
+          const Kernel& k = kernel_for(in);
+          if (k.ok && !k.mats.empty()) return exec_elemwise_kernel(in, f, k);
+        }
         const DMat* shape = tree_shape(*in.tree, f);
         if (shape == nullptr) fail("element-wise loop without matrix operand");
         // Paper-style local loop: each processor updates its share.
@@ -402,9 +469,20 @@ class Executor {
         mat(f, in.dst) = std::move(out);
         return Flow::Normal;
       }
-      case LOp::ScalarAssign:
+      case LOp::ScalarAssign: {
+        if (opts_.kernels) {
+          const Kernel& k = kernel_for(in);
+          if (k.ok && k.mats.empty()) {
+            bind_scalar_slots(k, f);
+            kstack_.resize(k.max_stack);
+            scalar(f, in.sdst) = k.eval(nullptr, kscalar_vals_.data(),
+                                        kstack_.data(), 0);
+            return Flow::Normal;
+          }
+        }
         scalar(f, in.sdst) = eval_scalar(*in.tree, f);
         return Flow::Normal;
+      }
       case LOp::CallFn:
         exec_call(in, f);
         return Flow::Normal;
@@ -598,6 +676,13 @@ class Executor {
   std::unordered_map<std::string, const LFunction*> fns_;
   uint64_t rand_seq_ = 0;
   const LInstr* cur_ = nullptr;  // innermost statement, for error context
+  // Compiled-kernel cache and reusable per-statement scratch (the "arena":
+  // operand pointers, scalar slots, and the postfix value stack are
+  // allocated once and reused across statements).
+  std::unordered_map<const LInstr*, Kernel> kernels_;
+  std::vector<const double*> kmat_ptrs_;
+  std::vector<double> kscalar_vals_;
+  std::vector<double> kstack_;
 };
 
 }  // namespace

@@ -14,6 +14,10 @@ namespace otter::driver {
 struct ExecOptions {
   uint64_t rand_seed = 1;
   rt::Dist dist = rt::Dist::RowBlock;  // data-distribution strategy
+  /// Evaluate element-wise/scalar trees through compiled postfix kernels
+  /// with output-buffer reuse (see driver/kernel.hpp). Off = the original
+  /// per-element tree walk, kept for benchmark baselines and differentials.
+  bool kernels = true;
   /// Failure handling + fault injection for the surrounding SPMD run
   /// (consumed by run_parallel / the cc runner, not per-rank execution).
   mpi::SpmdOptions spmd;

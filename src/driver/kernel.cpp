@@ -1,0 +1,117 @@
+#include "driver/kernel.hpp"
+
+#include <limits>
+#include <string>
+#include <unordered_map>
+
+namespace otter::driver {
+
+namespace {
+
+using lower::LExpr;
+
+bool has_rand(const LExpr& e) {
+  if (e.kind == LExpr::Kind::RandScalar) return true;
+  if (e.a && has_rand(*e.a)) return true;
+  if (e.b && has_rand(*e.b)) return true;
+  return false;
+}
+
+struct Builder {
+  Kernel k;
+  std::unordered_map<std::string, uint16_t> mat_slots;
+  size_t depth = 0;
+  bool ok = true;
+
+  void push(KOp op) {
+    k.ops.push_back(op);
+    ++depth;
+    if (depth > k.max_stack) k.max_stack = depth;
+  }
+
+  uint16_t mat_slot(const std::string& name) {
+    auto it = mat_slots.find(name);
+    if (it != mat_slots.end()) return it->second;
+    auto slot = static_cast<uint16_t>(k.mats.size());
+    mat_slots.emplace(name, slot);
+    k.mats.push_back(name);
+    return slot;
+  }
+
+  void build(const LExpr& e) {
+    if (!ok) return;
+    if (k.ops.size() > 4096 || k.mats.size() > 255 || k.scalars.size() > 255) {
+      ok = false;  // degenerate tree: let the tree walker handle it
+      return;
+    }
+    switch (e.kind) {
+      case LExpr::Kind::Imm: {
+        KOp op;
+        op.k = KOp::K::PushImm;
+        op.imm = e.imm;
+        push(op);
+        return;
+      }
+      case LExpr::Kind::MatVar: {
+        KOp op;
+        op.k = KOp::K::PushMat;
+        op.slot = mat_slot(e.var);
+        push(op);
+        return;
+      }
+      case LExpr::Kind::ScalarVar:
+      case LExpr::Kind::RowsOf:
+      case LExpr::Kind::ColsOf:
+      case LExpr::Kind::NumelOf: {
+        KOp op;
+        op.k = KOp::K::PushScalar;
+        op.slot = static_cast<uint16_t>(k.scalars.size());
+        k.scalars.push_back(&e);
+        push(op);
+        return;
+      }
+      case LExpr::Kind::Bin: {
+        build(*e.a);
+        build(*e.b);
+        if (!ok) return;
+        KOp op;
+        op.k = KOp::K::Bin;
+        op.bop = e.bop;
+        k.ops.push_back(op);
+        --depth;  // two pops, one push
+        return;
+      }
+      case LExpr::Kind::Un: {
+        build(*e.a);
+        if (!ok) return;
+        KOp op;
+        op.k = KOp::K::Un;
+        op.uop = e.uop;
+        k.ops.push_back(op);
+        return;
+      }
+      case LExpr::Kind::RandScalar:
+        // A slot would draw once per statement where the tree walker draws
+        // per evaluation; refuse so the caller preserves rand semantics.
+        ok = false;
+        return;
+    }
+    ok = false;
+  }
+};
+
+}  // namespace
+
+Kernel compile_kernel(const lower::LExpr& tree) {
+  if (has_rand(tree)) {
+    Kernel k;
+    k.ok = false;
+    return k;
+  }
+  Builder b;
+  b.build(tree);
+  b.k.ok = b.ok && !b.k.ops.empty();
+  return b.k;
+}
+
+}  // namespace otter::driver

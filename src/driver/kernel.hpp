@@ -1,0 +1,87 @@
+// Compiled element-wise kernels for the direct executor.
+//
+// The executor used to re-interpret the LExpr tree for every local element
+// (one recursive walk plus a hash lookup per matrix/scalar leaf per
+// element). A Kernel compiles the tree once into flat postfix code with
+// pre-resolved operand slots: matrix leaves become span indices bound once
+// per statement execution, scalar leaves become slots evaluated once per
+// statement (lowering guarantees an element-wise tree's scalar subtrees are
+// Imm/ScalarVar only — anything more complex, including rand, was hoisted
+// into its own ScalarAssign), and the per-element work is a tight loop over
+// a small value stack.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "lower/lir.hpp"
+
+namespace otter::driver {
+
+/// One postfix step.
+struct KOp {
+  enum class K : uint8_t {
+    PushImm,     ///< push `imm`
+    PushScalar,  ///< push pre-evaluated scalar slot `slot`
+    PushMat,     ///< push element l of matrix slot `slot`
+    Bin,         ///< pop b, pop a, push a `bop` b
+    Un,          ///< pop a, push `uop` a
+  };
+  K k = K::PushImm;
+  double imm = 0.0;
+  uint16_t slot = 0;
+  rt::EwBin bop = rt::EwBin::Add;
+  rt::EwUn uop = rt::EwUn::Neg;
+};
+
+/// A compiled LExpr tree. `ok == false` means the tree cannot be kernelized
+/// (it draws rand, whose per-element semantics a once-per-statement slot
+/// would change) and the caller must fall back to tree walking.
+struct Kernel {
+  std::vector<KOp> ops;
+  /// Matrix slot -> variable name, in pre-order-first-leaf order, so
+  /// mats.front() is the same matrix the tree-walking executor takes the
+  /// output shape from.
+  std::vector<std::string> mats;
+  /// Scalar slot -> subtree to evaluate once per statement execution.
+  std::vector<const lower::LExpr*> scalars;
+  size_t max_stack = 0;
+  bool ok = false;
+
+  /// Evaluates the postfix program for local element `l`. `mat_ptrs[i]` is
+  /// the local buffer of matrix slot i, `scalar_vals[i]` the pre-evaluated
+  /// value of scalar slot i, `stack` has room for max_stack doubles.
+  [[nodiscard]] double eval(const double* const* mat_ptrs,
+                            const double* scalar_vals, double* stack,
+                            size_t l) const {
+    size_t sp = 0;
+    for (const KOp& op : ops) {
+      switch (op.k) {
+        case KOp::K::PushImm:
+          stack[sp++] = op.imm;
+          break;
+        case KOp::K::PushScalar:
+          stack[sp++] = scalar_vals[op.slot];
+          break;
+        case KOp::K::PushMat:
+          stack[sp++] = mat_ptrs[op.slot][l];
+          break;
+        case KOp::K::Bin:
+          stack[sp - 2] = rt::ew_apply_bin(op.bop, stack[sp - 2], stack[sp - 1]);
+          --sp;
+          break;
+        case KOp::K::Un:
+          stack[sp - 1] = rt::ew_apply_un(op.uop, stack[sp - 1]);
+          break;
+      }
+    }
+    return stack[0];
+  }
+};
+
+/// Compiles `tree` (element-wise or pure scalar) into postfix form. The
+/// result's lifetime is bounded by `tree`'s (scalar slots point into it).
+Kernel compile_kernel(const lower::LExpr& tree);
+
+}  // namespace otter::driver

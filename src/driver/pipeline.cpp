@@ -16,6 +16,7 @@ std::unique_ptr<CompileResult> compile_script(
     const lower::LowerOptions& opts) {
   CompileOptions copts;
   copts.lower = opts;
+  copts.opt.level = 0;  // raw lowering output for callers of this overload
   return compile_script(source, loader, copts);
 }
 
@@ -42,8 +43,12 @@ std::unique_ptr<CompileResult> compile_script(const std::string& source,
   lower::LowerOptions lopts = opts.lower;
   lopts.budget = &gate;
   r->lir = lower::lower_program(r->prog, r->inf, r->diags, lopts);
-  // Structural self-check: any E6xxx report here is a compiler bug made
-  // visible, not a user error.
+  if (!r->diags.has_errors() && opts.opt.level > 0) {
+    if (opts.keep_preopt) r->preopt_lir = lower::dump_lir(r->lir);
+    r->opt_report = lower::run_opt(r->lir, opts.opt);
+  }
+  // Structural self-check on what will actually run (post-optimizer): any
+  // E6xxx report here is a compiler bug made visible, not a user error.
   if (opts.verify_lir && !r->diags.has_errors()) {
     analysis::verify_lir(r->lir, r->diags);
   }

@@ -9,6 +9,7 @@
 #include "driver/exec.hpp"
 #include "frontend/parser.hpp"
 #include "lower/lower.hpp"
+#include "lower/opt.hpp"
 #include "minimpi/comm.hpp"
 #include "sema/infer.hpp"
 #include "sema/resolve.hpp"
@@ -20,7 +21,9 @@ struct CompileResult {
   DiagEngine diags{&sm};
   Program prog;
   sema::InferResult inf;
-  lower::LProgram lir;
+  lower::LProgram lir;            ///< post-optimizer LIR (what runs)
+  std::string preopt_lir;         ///< dump before run_opt (keep_preopt only)
+  lower::OptReport opt_report;    ///< what the optimizer did (empty at -O0)
   bool ok = false;
 };
 
@@ -28,15 +31,20 @@ struct CompileResult {
 /// (resource budgets, strict-inference mode, and the diagnostic cap).
 struct CompileOptions {
   lower::LowerOptions lower;
+  lower::OptOptions opt;     ///< optimizer pipeline; level 2 is the default
   CompileBudget budget;      ///< resource limits shared by every pass
   bool strict_infer = false; ///< unresolvable shapes are errors, not guards
   size_t max_errors = 0;     ///< cap stored error diagnostics (0 = unlimited)
-  bool verify_lir = true;    ///< run the structural LIR verifier after lowering
+  bool verify_lir = true;    ///< run the structural LIR verifier (post-opt)
+  bool keep_preopt = false;  ///< record the pre-optimizer dump (--dump-lir)
   std::string source_name = "<script>";  ///< buffer name for diagnostics
 };
 
 /// Compiles a MATLAB script through every pass. `loader` supplies user
 /// M-files (see dir_loader). Check `->ok` / `->diags` before using `lir`.
+/// This convenience overload keeps the optimizer off (level 0) so callers
+/// inspecting raw lowering output see it unchanged; use the CompileOptions
+/// overload for the full default pipeline (-O2).
 std::unique_ptr<CompileResult> compile_script(
     const std::string& source, const sema::MFileLoader& loader = {},
     const lower::LowerOptions& opts = {});

@@ -1,0 +1,57 @@
+// LIR optimizer (between lowering and execution/codegen).
+//
+// The paper's performance model says communication volume dominates, so the
+// passes target run-time-library calls: loop-invariant communication is
+// hoisted out of loops (the fix for what lint's W3207 only reports),
+// duplicate communication calls in a block are merged, CopyMat chains are
+// propagated away, and chains of element-wise statements whose intermediate
+// is dead afterwards are fused into one local loop.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lower/lir.hpp"
+
+namespace otter::lower {
+
+/// Optimizer configuration. Levels: 0 disables everything, 1 enables copy
+/// propagation and the unread-definition sweep, 2 (the compiler default)
+/// adds element-wise fusion, communication CSE, and communication LICM.
+struct OptOptions {
+  int level = 2;
+  bool fuse = true;      ///< cross-statement element-wise fusion (level >= 2)
+  bool licm = true;      ///< hoist loop-invariant communication (level >= 2)
+  bool cse = true;       ///< merge duplicate communication calls (level >= 2)
+  bool copyprop = true;  ///< propagate through CopyMat chains (level >= 1)
+};
+
+/// What the optimizer did: counters for tests/benches, plus one record per
+/// hoisted communication op so the driver can cross-link W3207 findings
+/// ("the warning is gone because the compiler performed the hoist").
+struct OptReport {
+  struct Hoist {
+    SourceLoc loc;       ///< location of the hoisted instruction
+    std::string target;  ///< variable the hoisted op defines
+    std::string op;      ///< lop_name() of the hoisted op
+  };
+  std::vector<Hoist> hoists;
+  size_t fused = 0;              ///< producer Elemwise folded into consumers
+  size_t cse_removed = 0;        ///< duplicate communication calls replaced
+  size_t copies_propagated = 0;  ///< reads redirected through CopyMat sources
+  size_t swept = 0;              ///< unread pure definitions removed
+
+  [[nodiscard]] size_t total() const {
+    return hoists.size() + fused + cse_removed + copies_propagated + swept;
+  }
+};
+
+/// Runs the pass pipeline over `prog` in place:
+///   copy-prop → comm CSE → elemwise fusion → comm LICM → copy-prop → sweep.
+/// Output re-verifies: hoists are wrapped in a trip-count guard so zero-trip
+/// loops keep their semantics, and hoisted ML_tmp targets are pre-defined so
+/// the verifier's all-paths rule (E6002) still holds.
+OptReport run_opt(LProgram& prog, const OptOptions& opts);
+
+}  // namespace otter::lower

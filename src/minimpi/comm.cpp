@@ -316,7 +316,7 @@ void Comm::send(int dst, int tag, const void* data, size_t bytes) {
   msg.src = rank_;
   msg.tag = tag;
   msg.payload.resize(bytes);
-  std::memcpy(msg.payload.data(), data, bytes);
+  if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
   if (p.shared_medium && !p.same_node(rank_, dst)) {
     // Half-duplex shared Ethernet: the sender occupies the wire for the full
     // transfer, so back-to-back sends serialize at the sender.
@@ -354,7 +354,7 @@ void Comm::recv(int src, int tag, void* data, size_t bytes) {
                    std::to_string(bytes) + " bytes, got " +
                    std::to_string(msg.payload.size()));
   }
-  std::memcpy(data, msg.payload.data(), bytes);
+  if (bytes > 0) std::memcpy(data, msg.payload.data(), bytes);
   // Clock may not move backwards: we waited (virtually) for the data.
   vtime_ = std::max(vtime_ + net_.profile.recv_overhead, msg.ready_vtime);
   // Waiting in await() burned host CPU in the condvar; do not charge it.
@@ -626,6 +626,12 @@ double RunResult::max_vtime() const {
   return m;
 }
 
+uint64_t RunResult::total_ops() const {
+  uint64_t n = 0;
+  for (uint64_t o : ops) n += o;
+  return n;
+}
+
 RunResult run_spmd(const MachineProfile& profile, int nranks,
                    const std::function<void(Comm&)>& body,
                    const SpmdOptions& opts) {
@@ -685,6 +691,7 @@ RunResult run_spmd(const MachineProfile& profile, int nranks,
   if (!failures.empty()) throw SpmdFailure(std::move(failures));
   RunResult result;
   result.vtimes = net.final_vtimes;
+  result.ops = net.final_ops;
   return result;
 }
 

@@ -290,7 +290,9 @@ class Comm {
 /// Result of one SPMD execution.
 struct RunResult {
   std::vector<double> vtimes;  // per-rank final virtual times
+  std::vector<uint64_t> ops;   // per-rank completed communication ops
   [[nodiscard]] double max_vtime() const;
+  [[nodiscard]] uint64_t total_ops() const;
 };
 
 /// Runs `body` on `nranks` ranks (threads) over a fresh network and returns

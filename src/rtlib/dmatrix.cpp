@@ -191,6 +191,13 @@ std::vector<double> to_full(mpi::Comm& comm, const DMat& m) {
   return full;
 }
 
+DMat& ensure_like(mpi::Comm& comm, DMat& dst, const DMat& proto) {
+  if (!dst.aligned_with(proto)) {
+    dst = DMat(comm, proto.rows(), proto.cols(), proto.layout().dist());
+  }
+  return dst;
+}
+
 DMat fill_zeros(mpi::Comm& comm, size_t rows, size_t cols, Dist dist) {
   return DMat(comm, rows, cols, dist);
 }

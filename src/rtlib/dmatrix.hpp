@@ -111,6 +111,13 @@ DMat from_full(mpi::Comm& comm, size_t rows, size_t cols,
 /// Gathers to a replicated full copy on every rank (gather at root + bcast).
 std::vector<double> to_full(mpi::Comm& comm, const DMat& m);
 
+/// Buffer-reuse hook for element-wise results: keeps dst's storage when it
+/// is already aligned with proto, otherwise replaces it with a fresh
+/// zero-initialised object of proto's shape and distribution. Returns dst.
+/// Callers must not pass a dst that aliases an operand of the loop about to
+/// run unless it is known aligned (a replaced buffer would drop its data).
+DMat& ensure_like(mpi::Comm& comm, DMat& dst, const DMat& proto);
+
 DMat fill_zeros(mpi::Comm& comm, size_t rows, size_t cols,
                 Dist dist = Dist::RowBlock);
 DMat fill_ones(mpi::Comm& comm, size_t rows, size_t cols,

@@ -41,6 +41,7 @@ LintRun lint_src(const std::string& src,
   LintRun r;
   driver::CompileOptions copts;
   copts.lower.dse = false;
+  copts.opt.level = 0;  // lint the raw LIR: every finding stays visible
   r.compiled = driver::compile_script(src, loader, copts);
   EXPECT_TRUE(r.compiled->ok) << r.compiled->diags.to_string();
   if (!r.compiled->ok) return r;
@@ -362,6 +363,7 @@ TEST(Lint, JsonCarriesCodeFileAndLine) {
 TEST(Lint, WerrorPromotesFindingsToErrors) {
   driver::CompileOptions copts;
   copts.lower.dse = false;
+  copts.opt.level = 0;
   auto c = driver::compile_script("x = 3;\nx = 4;\ndisp(x);\n", {}, copts);
   ASSERT_TRUE(c->ok) << c->diags.to_string();
   DiagEngine diags(&c->sm);
@@ -693,6 +695,7 @@ TEST(VerifyLir, VerifierAcceptsEveryCompiledBenchmark) {
 std::string lir_dump(const std::string& src, bool dse) {
   driver::CompileOptions copts;
   copts.lower.dse = dse;
+  copts.opt.level = 0;  // isolate DSE's effect from the optimizer's sweep
   auto c = driver::compile_script(src, {}, copts);
   EXPECT_TRUE(c->ok) << c->diags.to_string();
   return lower::dump_lir(c->lir);
@@ -711,6 +714,7 @@ TEST(Dse, RemovesDeadCommunication) {
 TEST(Dse, ReturnsRemovedCount) {
   driver::CompileOptions copts;
   copts.lower.dse = false;
+  copts.opt.level = 0;
   auto c = driver::compile_script(
       "a = ones(4, 4);\nb = ones(4, 4);\ndead = a * b;\nc = a + b;\n"
       "disp(c(1, 1));\n",

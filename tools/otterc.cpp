@@ -32,6 +32,14 @@
 //   --no-verify-lir        skip the post-lowering LIR self-verification
 //   --no-dse               disable the liveness-driven dead-statement
 //                          elimination
+//   -O0 | -O1 | -O2        LIR optimizer level (default -O2): -O1 adds copy
+//                          propagation, fusion of element-wise chains, and
+//                          dead-result sweeping; -O2 adds communication CSE
+//                          and loop-invariant communication motion
+//   --no-fuse              keep element-wise chains unfused at -O1/-O2
+//   --no-licm              keep loop-invariant communication in place
+//   --dump-lir=pre-opt|post-opt  print the LIR before or after the
+//                          optimizer and exit (post-opt == --emit=lir)
 //
 // Exit codes (sysexits-style so scripts and the fuzzer can triage):
 //   0  success
@@ -81,6 +89,10 @@ struct Options {
   bool werror = false;
   bool verify_lir = true;
   bool dse = true;
+  int opt_level = 2;
+  bool fuse = true;
+  bool licm = true;
+  std::string dump_lir;
 };
 
 int usage() {
@@ -91,7 +103,9 @@ int usage() {
       "              [--fault-plan=SPEC] [--timeout=SECS] [--retries=N]\n"
       "              [--diag-format=text|json] [--max-errors=N]\n"
       "              [--strict-infer] [--budget-seconds=SECS]\n"
-      "              [--lint] [--Werror] [--no-verify-lir] [--no-dse]\n";
+      "              [--lint] [--Werror] [--no-verify-lir] [--no-dse]\n"
+      "              [-O0|-O1|-O2] [--no-fuse] [--no-licm]\n"
+      "              [--dump-lir=pre-opt|post-opt]\n";
   return kExitUsage;
 }
 
@@ -119,7 +133,13 @@ bool parse_args(int argc, char** argv, Options& o) try {
     } else if (auto v = value("--dist=")) {
       o.dist = (*v == "cyclic") ? otter::rt::Dist::Cyclic
                                 : otter::rt::Dist::RowBlock;
-    } else if (a == "--no-peephole") o.peephole = false;
+    } else if (auto v = value("--dump-lir=")) o.dump_lir = *v;
+    else if (a == "-O0") o.opt_level = 0;
+    else if (a == "-O1") o.opt_level = 1;
+    else if (a == "-O2") o.opt_level = 2;
+    else if (a == "--no-fuse") o.fuse = false;
+    else if (a == "--no-licm") o.licm = false;
+    else if (a == "--no-peephole") o.peephole = false;
     else if (a == "--strict-infer") o.strict_infer = true;
     else if (a == "--times") o.times = true;
     else if (a == "--lint") o.lint = true;
@@ -131,6 +151,10 @@ bool parse_args(int argc, char** argv, Options& o) try {
     else return false;
   }
   if (o.diag_format != "text" && o.diag_format != "json") return false;
+  if (!o.dump_lir.empty() && o.dump_lir != "pre-opt" &&
+      o.dump_lir != "post-opt") {
+    return false;
+  }
   return !o.script_path.empty();
 } catch (const std::exception&) {
   return false;  // malformed numeric flag value: stoi/stod/stoull threw
@@ -210,6 +234,12 @@ int main(int argc, char** argv) {
     // Lint wants the full LIR: DSE would delete the very dead stores and
     // unused results the analysis reports on.
     copts.lower.dse = opt.dse && !opt.lint;
+    // Lint also wants the unoptimized LIR (the findings describe the
+    // program as written); the optimizer's own work is cross-linked below.
+    copts.opt.level = opt.lint ? 0 : opt.opt_level;
+    copts.opt.fuse = opt.fuse;
+    copts.opt.licm = opt.licm;
+    copts.keep_preopt = (opt.dump_lir == "pre-opt");
     copts.strict_infer = opt.strict_infer;
     copts.max_errors = opt.max_errors;
     copts.budget.max_wall_seconds = opt.budget_seconds;
@@ -224,6 +254,19 @@ int main(int argc, char** argv) {
     if (opt.lint) {
       otter::analysis::LintOptions lopts;
       lopts.werror = opt.werror;
+      if (opt.opt_level > 0) {
+        // Compile once more with the optimizer on: W3207 findings whose
+        // call LICM hoists at this level become notes, not findings.
+        otter::driver::CompileOptions ocopts = copts;
+        ocopts.opt.level = opt.opt_level;
+        auto optimized = otter::driver::compile_script(source, loader, ocopts);
+        if (optimized->ok) {
+          for (const otter::lower::OptReport::Hoist& h :
+               optimized->opt_report.hoists) {
+            lopts.hoisted.push_back(h.loc);
+          }
+        }
+      }
       size_t findings = otter::analysis::run_lint(
           compiled->prog, compiled->inf, compiled->lir, compiled->diags, lopts);
       if (!compiled->diags.empty()) print_diags(compiled->diags, opt);
@@ -233,6 +276,14 @@ int main(int argc, char** argv) {
 
     if (!compiled->diags.empty()) {
       print_diags(compiled->diags, opt);  // warnings (e.g. degraded shapes)
+    }
+
+    if (!opt.dump_lir.empty()) {
+      // pre-opt falls back to the final LIR at -O0, where nothing ran.
+      std::cout << (opt.dump_lir == "pre-opt" && opt.opt_level > 0
+                        ? compiled->preopt_lir
+                        : otter::lower::dump_lir(compiled->lir));
+      return kExitOk;
     }
 
     if (opt.emit == "ast") {

@@ -253,27 +253,31 @@ std::string diff_one(const std::string& source) {
     return std::string("interpreter failed: ") + e.what();
   }
   otter::mpi::MachineProfile profile = otter::mpi::profile_by_name("ideal");
-  // Pass 1: the LIR exactly as lowered. Pass 2: with dead-statement
-  // elimination, so the optimizer is differentially tested against the same
-  // oracle.
-  for (bool dse : {false, true}) {
+  // Pass 1: the LIR exactly as lowered (-O0, no DSE). Pass 2: the full
+  // default pipeline (DSE + the -O2 optimizer + compiled kernels), so every
+  // optimization is differentially tested against the same oracle.
+  for (int level : {0, 2}) {
     otter::driver::CompileOptions copts;
-    copts.lower.dse = dse;
+    copts.lower.dse = level > 0;
+    copts.opt.level = level;
+    const char* tag = level > 0 ? " (-O2)" : " (-O0)";
     auto c = otter::driver::compile_script(source, {}, copts);
     if (!c->ok) {
-      return std::string("valid corpus script failed to compile") +
-             (dse ? " (dse)" : "") + ":\n" + c->diags.to_string();
+      return std::string("valid corpus script failed to compile") + tag +
+             ":\n" + c->diags.to_string();
     }
+    otter::driver::ExecOptions eopts;
+    eopts.kernels = level > 0;
     for (int np : {1, 3}) {
       try {
-        auto run = otter::driver::run_parallel(c->lir, profile, np, {});
+        auto run = otter::driver::run_parallel(c->lir, profile, np, eopts);
         if (run.output != interp_out) {
-          return "np=" + std::to_string(np) + (dse ? " (dse)" : "") +
+          return "np=" + std::to_string(np) + tag +
                  " output diverges from the interpreter\n--- interp ---\n" +
                  interp_out + "--- direct ---\n" + run.output;
         }
       } catch (const std::exception& e) {
-        return "np=" + std::to_string(np) + (dse ? " (dse)" : "") +
+        return "np=" + std::to_string(np) + tag +
                " execution failed: " + e.what();
       }
     }

@@ -90,8 +90,10 @@ int main(int argc, char** argv) {
 
   otter::driver::CompileOptions copts;
   copts.source_name = opt.script_path;
-  // Analysis wants the full LIR, exactly as lowered.
+  // Analysis wants the full LIR, exactly as lowered: no DSE, no optimizer
+  // (the golden findings describe the program as written, not as optimized).
   copts.lower.dse = false;
+  copts.opt.level = 0;
   auto compiled = otter::driver::compile_script(
       ss.str(), otter::driver::dir_loader(dirname_of(opt.script_path)), copts);
   if (!compiled->ok) {
