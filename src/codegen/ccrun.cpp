@@ -1,5 +1,6 @@
 #include "codegen/ccrun.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -25,9 +26,12 @@ namespace {
 using EntryFn = void (*)(mpi::Comm*, std::ostream*, uint64_t, int);
 
 std::string temp_path(const char* suffix) {
-  static int counter = 0;
+  // Atomic: concurrent service requests may build programs simultaneously,
+  // and two requests sharing a path would clobber each other's artifacts.
+  static std::atomic<int> counter{0};
   std::ostringstream ss;
-  ss << "/tmp/otter_gen_" << getpid() << "_" << ++counter << suffix;
+  ss << "/tmp/otter_gen_" << getpid() << "_" << counter.fetch_add(1) + 1
+     << suffix;
   return ss.str();
 }
 

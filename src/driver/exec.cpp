@@ -241,6 +241,14 @@ class Executor {
 
   Flow exec_instr(const LInstr& in, Frame& f) {
     cur_ = &in;
+    // Session-scoped deadline / cancellation: communication ops already poll
+    // it inside minimpi, but a compute-only loop (huge for-range of scalar
+    // work) would otherwise run forever inside a daemon worker. Amortize the
+    // clock read over a stride of statements.
+    if ((opts_.spmd.has_deadline() || opts_.spmd.cancel != nullptr) &&
+        ++deadline_stride_ % 64 == 0 && opts_.spmd.expired()) {
+      throw rt::RtError(opts_.spmd.expiry_reason(), in.loc, "E5004");
+    }
     switch (in.op) {
       case LOp::MatMul:
         mat(f, in.dst) = rt::matmul(comm_, operand_mat(in.args[0], f),
@@ -675,6 +683,7 @@ class Executor {
   ExecOptions opts_;
   std::unordered_map<std::string, const LFunction*> fns_;
   uint64_t rand_seq_ = 0;
+  uint64_t deadline_stride_ = 0;  // amortizes the per-statement deadline poll
   const LInstr* cur_ = nullptr;  // innermost statement, for error context
   // Compiled-kernel cache and reusable per-statement scratch (the "arena":
   // operand pointers, scalar slots, and the postfix value stack are

@@ -8,6 +8,7 @@
 
 #include "analysis/verify.hpp"
 #include "interp/interp.hpp"
+#include "support/rng.hpp"
 
 namespace otter::driver {
 
@@ -78,11 +79,24 @@ ParallelRun run_parallel(const lower::LProgram& lir,
   return result;
 }
 
+double retry_backoff_for(const RetryOptions& retry, int attempt) {
+  double base = retry.backoff;
+  for (int k = 1; k < attempt; ++k) base *= retry.backoff_factor;
+  if (retry.backoff_cap > 0) base = std::min(base, retry.backoff_cap);
+  if (retry.jitter > 0) {
+    // Deterministic jitter: position `attempt` of the seeded LCG stream, so
+    // the schedule is reproducible yet decorrelated across seeds.
+    double u = Lcg::value_at(retry.jitter_seed,
+                             static_cast<uint64_t>(attempt));
+    base *= 1.0 + retry.jitter * (2.0 * u - 1.0);
+  }
+  return base;
+}
+
 RetryRun run_with_retries(const lower::LProgram& lir,
                           const mpi::MachineProfile& profile, int nranks,
                           const ExecOptions& opts, const RetryOptions& retry) {
   RetryRun result;
-  double next_backoff = retry.backoff;
   uint64_t base_seed = opts.spmd.fault.seed;
   for (int attempt = 1; attempt <= std::max(1, retry.max_attempts); ++attempt) {
     result.attempts = attempt;
@@ -102,8 +116,7 @@ RetryRun run_with_retries(const lower::LProgram& lir,
       return result;
     } catch (const mpi::SpmdFailure& e) {
       result.failures.push_back({attempt, e.what()});
-      result.backoff_vtime += next_backoff;
-      next_backoff *= retry.backoff_factor;
+      result.backoff_vtime += retry_backoff_for(retry, attempt);
     }
   }
   return result;

@@ -74,15 +74,31 @@ ParallelRun run_parallel(const lower::LProgram& lir,
 /// Retry policy for run_with_retries. Backoff is charged in *virtual* time
 /// (added to every rank's clock of the successful run), mirroring how the
 /// virtual-time model accounts for everything else — no wall sleeping.
+///
+/// The schedule is capped exponential with deterministic jitter: attempt k
+/// waits min(backoff * factor^(k-1), backoff_cap), scaled by a jitter
+/// factor drawn from the seeded LCG stream — so many clients retrying the
+/// same failure decorrelate, yet a given (seed, attempt) pair always
+/// produces the same wait, keeping tests and benchmarks reproducible.
 struct RetryOptions {
   int max_attempts = 3;
   double backoff = 0.5;         ///< virtual seconds before the first retry
   double backoff_factor = 2.0;  ///< multiplier per subsequent retry
+  double backoff_cap = 30.0;    ///< ceiling on one retry's backoff (0 = none)
+  /// Fraction of each backoff randomized: wait *= 1 + jitter*(2u-1) with
+  /// u in [0,1) drawn deterministically from jitter_seed. 0 disables.
+  double jitter = 0.1;
+  uint64_t jitter_seed = 0x0771e55;
   /// Perturb the fault-injection seed on each attempt so scripted
   /// *probabilistic* faults behave like transient failures (a retry can
   /// succeed), while scripted crashes stay deterministic.
   bool reseed_faults = true;
 };
+
+/// The virtual-time backoff run_with_retries charges before retry `attempt`
+/// (1-based: the wait after the attempt-th failure). Exposed so tests and
+/// the daemon's retry accounting agree with the implementation.
+double retry_backoff_for(const RetryOptions& retry, int attempt);
 
 /// One failed attempt inside run_with_retries.
 struct AttemptFailure {

@@ -214,10 +214,15 @@ void Network::rank_done(int rank) {
 
 Message Network::await(int dst, int src, int tag) {
   std::unique_lock<std::mutex> lock(mu_);
-  const auto deadline =
+  auto deadline =
       std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
           std::chrono::duration<double>(opts.watchdog_timeout));
+  // A session-scoped run deadline tightens the per-wait watchdog: a rank may
+  // never stay blocked past the request's own deadline.
+  if (opts.has_deadline() && opts.run_deadline < deadline) {
+    deadline = opts.run_deadline;
+  }
   Waiter& me = waiters_[static_cast<size_t>(dst)];
   me = {true, src, tag};
   ++waiting_;
@@ -241,6 +246,13 @@ Message Network::await(int dst, int src, int tag) {
       }
     }
     if (check_deadlock_locked()) throw AbortedError(abort_what_);
+    if (opts.expired()) {
+      abort_locked(-1, std::string(opts.expiry_reason()) +
+                           " while rank " + std::to_string(dst) +
+                           " waited on rank " + std::to_string(src) + "; " +
+                           waitfor_report_locked());
+      throw AbortedError(abort_what_);
+    }
     if (std::chrono::steady_clock::now() >= deadline) {
       abort_locked(-1, "watchdog: rank " + std::to_string(dst) +
                            " blocked for more than " +
@@ -281,6 +293,12 @@ void Comm::charge_compute() {
 
 void Comm::op_event(const char* what) {
   net_.throw_if_aborted();
+  if (net_.opts.expired()) {
+    // Sender-side loops never enter await(), so the session deadline must
+    // also gate every op. First rank to notice poisons the whole run.
+    net_.abort(-1, net_.opts.expiry_reason());
+    throw AbortedError(net_.opts.expiry_reason());
+  }
   uint64_t op = ops_ + 1;
   if (faults_.crash_now(rank_, op)) {
     publish_stats();

@@ -25,6 +25,8 @@
 // rank crashes for tests and benches.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -64,8 +66,38 @@ struct SpmdOptions {
   /// are detected immediately without waiting.
   double watchdog_timeout = 30.0;
 
+  /// Absolute wall-clock deadline for the *whole* run — the session-scoped
+  /// deadline otterd charges against each request. The default-constructed
+  /// time_point means "no deadline". The watchdog honours it while ranks
+  /// are blocked; the executor polls it between statements so compute-bound
+  /// loops are covered too.
+  std::chrono::steady_clock::time_point run_deadline{};
+
+  /// External cancellation flag (daemon shutdown, client disconnect). Not
+  /// owned; must outlive the run. Polled at the same points as
+  /// run_deadline.
+  const std::atomic<bool>* cancel = nullptr;
+
   /// Scripted deterministic faults (see minimpi/fault.hpp). Default: none.
   FaultPlan fault;
+
+  [[nodiscard]] bool has_deadline() const {
+    return run_deadline != std::chrono::steady_clock::time_point{};
+  }
+  /// True once the run must stop (deadline passed or cancel raised).
+  [[nodiscard]] bool expired() const {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return has_deadline() && std::chrono::steady_clock::now() >= run_deadline;
+  }
+  /// Why expired() fired, for failure reports.
+  [[nodiscard]] const char* expiry_reason() const {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      return "run cancelled by the service";
+    }
+    return "request deadline exceeded";
+  }
 };
 
 /// One rank's outcome inside a failed SPMD run.

@@ -1,0 +1,69 @@
+#include "service/breaker.hpp"
+
+#include <chrono>
+
+namespace otter::service {
+
+namespace {
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+CircuitBreaker::CircuitBreaker(Options opts, std::function<double()> clock)
+    : opts_(opts), clock_(clock ? std::move(clock) : steady_seconds) {}
+
+CircuitBreaker::Verdict CircuitBreaker::admit(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = states_.find(key);
+  if (it == states_.end() || !it->second.open) return Verdict::Allow;
+  State& s = it->second;
+  if (s.probing) return Verdict::Quarantined;  // one probe at a time
+  if (clock_() - s.opened_at >= opts_.cooldown_seconds) {
+    s.probing = true;
+    return Verdict::Probe;
+  }
+  return Verdict::Quarantined;
+}
+
+void CircuitBreaker::record_failure(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  State& s = states_[key];
+  if (s.open) {
+    // The half-open probe failed (or a straggler from before the trip):
+    // restart the cooldown.
+    s.probing = false;
+    s.opened_at = clock_();
+    return;
+  }
+  if (++s.consecutive_failures >= opts_.threshold) {
+    s.open = true;
+    s.probing = false;
+    s.opened_at = clock_();
+    trips_.fetch_add(1);
+  }
+}
+
+void CircuitBreaker::record_success(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  states_.erase(key);
+}
+
+double CircuitBreaker::retry_after(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = states_.find(key);
+  if (it == states_.end() || !it->second.open || it->second.probing) return 0.0;
+  double left = opts_.cooldown_seconds - (clock_() - it->second.opened_at);
+  return left > 0 ? left : 0.0;
+}
+
+size_t CircuitBreaker::open_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [k, s] : states_) n += s.open ? 1 : 0;
+  return n;
+}
+
+}  // namespace otter::service

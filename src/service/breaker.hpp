@@ -1,0 +1,81 @@
+// Circuit breaker: quarantines scripts (by content hash) that keep crashing
+// workers, so a poisoned script cannot monopolize the pool by failing over
+// and over at full deadline cost.
+//
+// Per-key state machine:
+//   closed     requests flow; consecutive crash-class failures are counted.
+//   open       `threshold` consecutive failures trips the breaker: requests
+//              for this hash are rejected immediately with E0010 until
+//              `cooldown_seconds` elapse.
+//   half-open  after the cooldown, exactly ONE probe request is admitted.
+//              Success closes the breaker (state resets); failure reopens
+//              it for another full cooldown. Concurrent requests during the
+//              probe stay rejected.
+//
+// The clock is injectable so tests drive the cooldown deterministically.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace otter::service {
+
+/// Namespace-scope so it can be a defaulted constructor argument (a nested
+/// struct's member initializers are not usable until the enclosing class is
+/// complete).
+struct BreakerOptions {
+  int threshold = 3;              ///< consecutive failures that trip it
+  double cooldown_seconds = 30.0; ///< open time before the probe
+};
+
+class CircuitBreaker {
+ public:
+  using Options = BreakerOptions;
+
+  enum class Verdict {
+    Allow,        ///< closed: proceed normally
+    Probe,        ///< half-open: proceed; this request decides the state
+    Quarantined,  ///< open: reject with E0010
+  };
+
+  /// `clock` returns seconds on a monotonic axis; defaults to steady_clock.
+  explicit CircuitBreaker(Options opts = {},
+                          std::function<double()> clock = {});
+
+  /// Admission decision for one request keyed by script hash.
+  Verdict admit(const std::string& key);
+
+  /// Records a crash-class failure (runtime error, SPMD failure, deadline
+  /// blowout). May trip the breaker or re-open a probing one.
+  void record_failure(const std::string& key);
+
+  /// Records a clean run: closes and forgets the key.
+  void record_success(const std::string& key);
+
+  /// Seconds until the given key's breaker admits a probe (0 when closed
+  /// or already probing).
+  [[nodiscard]] double retry_after(const std::string& key) const;
+
+  [[nodiscard]] size_t open_count() const;
+  [[nodiscard]] uint64_t trip_count() const { return trips_.load(); }
+
+ private:
+  struct State {
+    int consecutive_failures = 0;
+    bool open = false;
+    bool probing = false;  ///< the half-open probe is in flight
+    double opened_at = 0.0;
+  };
+
+  Options opts_;
+  std::function<double()> clock_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, State> states_;
+  std::atomic<uint64_t> trips_{0};
+};
+
+}  // namespace otter::service

@@ -1,0 +1,66 @@
+#include "service/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace otter::service {
+
+int unix_connect(const std::string& socket_path, std::string* err) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    if (err != nullptr) *err = "socket path too long: " + socket_path;
+    return -1;
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (err != nullptr) *err = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (err != nullptr) {
+      *err = "connect " + socket_path + ": " + std::strerror(errno);
+    }
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_line(int fd, const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  size_t off = 0;
+  while (off < framed.size()) {
+    ssize_t n = ::write(fd, framed.data() + off, framed.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool recv_line(int fd, std::string* line) {
+  line->clear();
+  char c = 0;
+  for (;;) {
+    ssize_t n = ::read(fd, &c, 1);
+    if (n == 0) return false;  // EOF mid-line
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (c == '\n') return true;
+    line->push_back(c);
+  }
+}
+
+}  // namespace otter::service

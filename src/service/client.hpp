@@ -1,0 +1,21 @@
+// Minimal Unix-socket client helpers for the otterd protocol, shared by
+// `otterc --remote` and the daemon smoke test. One request is one line of
+// JSON; the response is the next line on the same connection.
+#pragma once
+
+#include <string>
+
+namespace otter::service {
+
+/// Connects to the daemon's Unix socket. Returns the fd, or -1 with a
+/// description of the failure in *err.
+int unix_connect(const std::string& socket_path, std::string* err);
+
+/// Writes `line` plus the terminating newline. False on I/O error.
+bool send_line(int fd, const std::string& line);
+
+/// Reads up to the next newline (not included). False on EOF/error before
+/// any newline arrives.
+bool recv_line(int fd, std::string* line);
+
+}  // namespace otter::service

@@ -1,0 +1,35 @@
+// Content hashing for the compile service: scripts are identified by a
+// 64-bit FNV-1a digest rendered as 16 hex characters. The hash keys both
+// the artifact cache (together with the options that affect compilation)
+// and the circuit breaker's quarantine table, so "the same script" means
+// "the same bytes" — whitespace differences intentionally miss.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace otter::service {
+
+inline uint64_t fnv1a64(std::string_view s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+inline std::string hex64(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Content address of a script's bytes.
+inline std::string script_hash(std::string_view script) {
+  return hex64(fnv1a64(script));
+}
+
+}  // namespace otter::service

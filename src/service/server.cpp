@@ -1,0 +1,488 @@
+#include "service/server.hpp"
+
+#include <algorithm>
+#include <exception>
+
+#include "driver/pipeline.hpp"
+#include "minimpi/fault.hpp"
+#include "service/hash.hpp"
+#include "support/diag.hpp"
+
+namespace otter::service {
+
+namespace {
+
+const char* severity_name(DiagSeverity sev) {
+  switch (sev) {
+    case DiagSeverity::Error: return "error";
+    case DiagSeverity::Warning: return "warning";
+    case DiagSeverity::Note: return "note";
+  }
+  return "error";
+}
+
+/// Compact JSON rendering of a compile's diagnostics. The service cannot
+/// use DiagEngine::to_json here: that form is pretty-printed across several
+/// lines, which would tear the newline-delimited response framing.
+json::JValue diags_json(const DiagEngine& diags) {
+  json::JArray out;
+  for (const Diagnostic& d : diags.diagnostics()) {
+    json::JValue e{json::JObject{}};
+    e.set("code", d.code);
+    e.set("severity", severity_name(d.severity));
+    e.set("line", static_cast<double>(d.loc.line));
+    e.set("col", static_cast<double>(d.loc.col));
+    e.set("message", d.message);
+    out.push_back(std::move(e));
+  }
+  return json::JValue(std::move(out));
+}
+
+/// First error code of a failed compile ("" when only uncoded errors).
+std::string first_error_code(const DiagEngine& diags) {
+  for (const Diagnostic& d : diags.diagnostics()) {
+    if (d.severity == DiagSeverity::Error && !d.code.empty()) return d.code;
+  }
+  return "";
+}
+
+double seconds_until(std::chrono::steady_clock::time_point deadline) {
+  return std::chrono::duration<double>(deadline -
+                                       std::chrono::steady_clock::now())
+      .count();
+}
+
+bool looks_like_deadline(const mpi::SpmdFailure& f) {
+  for (const mpi::RankFailure& rf : f.failures()) {
+    if (rf.what.find("request deadline exceeded") != std::string::npos ||
+        rf.what.find("run cancelled by the service") != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Service::Service(ServiceConfig cfg)
+    : cfg_(cfg), cache_(cfg.cache_bytes), breaker_(cfg.breaker) {}
+
+std::chrono::steady_clock::time_point Service::deadline_for(
+    const json::JValue& req) const {
+  double secs = req.get_number("deadline", cfg_.default_deadline);
+  if (!(secs > 0)) secs = cfg_.default_deadline;
+  secs = std::min(secs, cfg_.max_deadline);
+  return std::chrono::steady_clock::now() +
+         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+             std::chrono::duration<double>(secs));
+}
+
+std::string Service::overload_response(const std::string& line) {
+  shed_.fetch_add(1);
+  received_.fetch_add(1);
+  json::JValue resp{json::JObject{}};
+  // Echo the id when the shed line parses; a flood of garbage still gets a
+  // well-formed E0008 back.
+  if (auto req = json::parse(line)) {
+    if (const json::JValue* id = req->get("id")) resp.set("id", *id);
+  }
+  resp.set("status", "shed");
+  resp.set("code", "E0008");
+  resp.set("message",
+           "server overloaded: admission queue full, request shed");
+  attach_stats(resp);
+  return resp.dump();
+}
+
+std::string Service::process_line(
+    const std::string& line, std::chrono::steady_clock::time_point deadline) {
+  received_.fetch_add(1);
+  if (line.size() > cfg_.max_request_bytes) {
+    return error_response(nullptr, "bad_request", "E0012",
+                          "request exceeds the service admission limits: "
+                          "request line of " + std::to_string(line.size()) +
+                          " bytes (limit " +
+                          std::to_string(cfg_.max_request_bytes) + ")")
+        .dump();
+  }
+  json::ParseError perr;
+  std::optional<json::JValue> req = json::parse(line, &perr);
+  if (!req || !req->is_object()) {
+    std::string why = req ? "request must be a JSON object"
+                          : perr.reason + " at byte " +
+                                std::to_string(perr.offset);
+    return error_response(nullptr, "bad_request", "E0011",
+                          "malformed service request: " + why)
+        .dump();
+  }
+  if (deadline == std::chrono::steady_clock::time_point{}) {
+    deadline = deadline_for(*req);
+  }
+  return process(*req, deadline).dump();
+}
+
+json::JValue Service::process(const json::JValue& req,
+                              std::chrono::steady_clock::time_point deadline) {
+  // Top-level exception barrier: nothing a request does may take down the
+  // service loop. Anything escaping handle_script is a service bug, reported
+  // as internal_error rather than death.
+  try {
+    const std::string op = req.get_string("op", "compile_run");
+    if (op == "ping") {
+      json::JValue resp{json::JObject{}};
+      if (const json::JValue* id = req.get("id")) resp.set("id", *id);
+      resp.set("status", "ok");
+      resp.set("pong", true);
+      return resp;
+    }
+    if (op == "stats") {
+      json::JValue resp{json::JObject{}};
+      if (const json::JValue* id = req.get("id")) resp.set("id", *id);
+      resp.set("status", "ok");
+      attach_stats(resp);
+      return resp;
+    }
+    if (op == "shutdown") {
+      shutdown_.store(true, std::memory_order_relaxed);
+      json::JValue resp{json::JObject{}};
+      if (const json::JValue* id = req.get("id")) resp.set("id", *id);
+      resp.set("status", "ok");
+      resp.set("shutting_down", true);
+      return resp;
+    }
+    if (op != "compile_run") {
+      return error_response(&req, "bad_request", "E0011",
+                            "malformed service request: unknown op \"" + op +
+                                "\"");
+    }
+    return handle_script(req, deadline);
+  } catch (const std::exception& e) {
+    return error_response(&req, "internal_error", "",
+                          std::string("internal service error: ") + e.what());
+  } catch (...) {
+    return error_response(&req, "internal_error", "",
+                          "internal service error: unknown exception");
+  }
+}
+
+json::JValue Service::handle_script(
+    const json::JValue& req, std::chrono::steady_clock::time_point deadline) {
+  const json::JValue* script_v = req.get("script");
+  if (script_v == nullptr || !script_v->is_string()) {
+    return error_response(&req, "bad_request", "E0011",
+                          "malformed service request: missing string field "
+                          "\"script\"");
+  }
+  const std::string& script = script_v->as_string();
+  if (script.size() > cfg_.max_script_bytes) {
+    return error_response(&req, "bad_request", "E0012",
+                          "request exceeds the service admission limits: "
+                          "script of " + std::to_string(script.size()) +
+                          " bytes (limit " +
+                          std::to_string(cfg_.max_script_bytes) + ")");
+  }
+
+  const int np = static_cast<int>(req.get_number("np", 1));
+  if (np < 1 || np > cfg_.max_np) {
+    return error_response(&req, "bad_request", "E0012",
+                          "request exceeds the service admission limits: np=" +
+                              std::to_string(np) + " (limit 1.." +
+                              std::to_string(cfg_.max_np) + ")");
+  }
+  const int opt_level =
+      static_cast<int>(req.get_number("opt_level", 2));
+  if (opt_level < 0 || opt_level > 2) {
+    return error_response(&req, "bad_request", "E0011",
+                          "malformed service request: opt_level must be 0, 1 "
+                          "or 2");
+  }
+  const std::string machine = req.get_string("machine", "ideal");
+  const bool strict_infer = req.get_bool("strict_infer", false);
+  const bool want_run = req.get_bool("run", true);
+
+  const std::string fault_spec = req.get_string("fault_plan", "");
+  if (!fault_spec.empty() && !cfg_.allow_fault_plans) {
+    return error_response(&req, "bad_request", "E0012",
+                          "request exceeds the service admission limits: "
+                          "fault injection is disabled on this server");
+  }
+  mpi::FaultPlan fault;
+  if (!fault_spec.empty()) {
+    try {
+      fault = mpi::FaultPlan::parse(fault_spec);
+    } catch (const std::exception& e) {
+      return error_response(&req, "bad_request", "E0011",
+                            std::string("malformed service request: ") +
+                                e.what());
+    }
+  }
+
+  // Quarantine check before any compile/run work is spent on the script.
+  const std::string hash = script_hash(script);
+  const CircuitBreaker::Verdict verdict = breaker_.admit(hash);
+  if (verdict == CircuitBreaker::Verdict::Quarantined) {
+    quarantined_.fetch_add(1);
+    json::JValue resp = error_response(
+        &req, "quarantined", "E0010",
+        "script quarantined after repeated crashes (circuit breaker open)");
+    resp.set("hash", hash);
+    resp.set("retry_after", breaker_.retry_after(hash));
+    return resp;
+  }
+
+  double remaining = seconds_until(deadline);
+  if (remaining <= 0) {
+    deadline_expired_.fetch_add(1);
+    return error_response(&req, "deadline", "E0009",
+                          "request wall-clock deadline exceeded before "
+                          "compilation started");
+  }
+
+  // ---- compile (or pull the artifact out of the cache) ----------------
+  const std::string key = artifact_key(hash, opt_level, machine, strict_infer);
+  std::shared_ptr<const Artifact> art = cache_.lookup(key);
+  const bool cache_hit = art != nullptr;
+  if (!cache_hit) {
+    driver::CompileOptions copts;
+    copts.opt.level = opt_level;
+    copts.budget = cfg_.budget;
+    if (copts.budget.max_wall_seconds <= 0 ||
+        copts.budget.max_wall_seconds > remaining) {
+      copts.budget.max_wall_seconds = remaining;
+    }
+    copts.strict_infer = strict_infer;
+    copts.source_name = "<request " + hash + ">";
+    std::shared_ptr<const driver::CompileResult> compiled =
+        driver::compile_script(script, {}, copts);
+    if (!compiled->ok) {
+      std::string code = first_error_code(compiled->diags);
+      const char* status = "compile_error";
+      if (code == "E0004" && seconds_until(deadline) <= 0) {
+        // The wall-clock budget that fired was the request deadline, not
+        // the server's own ceiling: report E0009 so clients know to retry.
+        code = "E0009";
+        status = "deadline";
+        deadline_expired_.fetch_add(1);
+      } else {
+        compile_errors_.fetch_add(1);
+      }
+      json::JValue resp =
+          error_response(&req, status, code.c_str(), "compilation failed");
+      resp.set("hash", hash);
+      resp.set("cache", "miss");
+      resp.set("diagnostics", diags_json(compiled->diags));
+      return resp;
+    }
+    auto fresh = std::make_shared<Artifact>();
+    fresh->diags = diags_json(compiled->diags);
+    fresh->bytes = estimate_artifact_bytes(compiled->lir, script.size());
+    fresh->compiled = std::move(compiled);
+    cache_.insert(key, fresh);
+    art = std::move(fresh);
+  }
+
+  json::JValue resp{json::JObject{}};
+  if (const json::JValue* id = req.get("id")) resp.set("id", *id);
+  resp.set("hash", hash);
+  resp.set("cache", cache_hit ? "hit" : "miss");
+  resp.set("diagnostics", art->diags);
+
+  if (!want_run) {
+    ok_.fetch_add(1);
+    if (verdict == CircuitBreaker::Verdict::Probe) {
+      breaker_.record_success(hash);
+    }
+    resp.set("status", "ok");
+    attach_stats(resp);
+    return resp;
+  }
+
+  remaining = seconds_until(deadline);
+  if (remaining <= 0) {
+    deadline_expired_.fetch_add(1);
+    breaker_.record_failure(hash);  // full-deadline burn counts as a crash
+    return error_response(&req, "deadline", "E0009",
+                          "request wall-clock deadline exceeded before "
+                          "execution started");
+  }
+
+  // ---- run under the per-request exception barrier --------------------
+  driver::ExecOptions eo;
+  eo.rand_seed = static_cast<uint64_t>(req.get_number("rand_seed", 1));
+  eo.spmd.fault = fault;
+  eo.spmd.run_deadline = deadline;
+  eo.spmd.cancel = &shutdown_;
+  try {
+    driver::ParallelRun run = driver::run_parallel(
+        art->compiled->lir, mpi::profile_by_name(machine), np, eo);
+    ok_.fetch_add(1);
+    breaker_.record_success(hash);
+    resp.set("status", "ok");
+    resp.set("output", run.output);
+    resp.set("max_vtime", run.times.max_vtime());
+    resp.set("comm_ops", run.times.total_ops());
+    attach_stats(resp);
+    return resp;
+  } catch (const mpi::SpmdFailure& f) {
+    breaker_.record_failure(hash);
+    json::JValue fr{json::JObject{}};
+    if (looks_like_deadline(f)) {
+      deadline_expired_.fetch_add(1);
+      fr = error_response(&req, "deadline", "E0009",
+                          "request wall-clock deadline exceeded during "
+                          "execution");
+    } else {
+      runtime_errors_.fetch_add(1);
+      fr = error_response(&req, "runtime_error", "E5001", f.what());
+    }
+    json::JArray ranks;
+    for (const mpi::RankFailure& rf : f.failures()) {
+      json::JValue e{json::JObject{}};
+      e.set("rank", rf.rank);
+      e.set("primary", rf.primary);
+      e.set("ops_completed", rf.ops_completed);
+      e.set("what", rf.what);
+      ranks.push_back(std::move(e));
+    }
+    fr.set("failures", json::JValue(std::move(ranks)));
+    fr.set("hash", hash);
+    fr.set("cache", cache_hit ? "hit" : "miss");
+    return fr;
+  } catch (const rt::RtError& e) {
+    breaker_.record_failure(hash);
+    if (e.code == "E5004") {
+      deadline_expired_.fetch_add(1);
+      return error_response(&req, "deadline", "E0009", e.what());
+    }
+    runtime_errors_.fetch_add(1);
+    json::JValue fr = error_response(&req, "runtime_error",
+                                     e.code.empty() ? "E5001" : e.code.c_str(),
+                                     e.what());
+    fr.set("hash", hash);
+    return fr;
+  } catch (const std::exception& e) {
+    breaker_.record_failure(hash);
+    runtime_errors_.fetch_add(1);
+    json::JValue fr = error_response(&req, "runtime_error", "E5001", e.what());
+    fr.set("hash", hash);
+    return fr;
+  }
+}
+
+json::JValue Service::error_response(const json::JValue* req,
+                                     const char* status, const char* code,
+                                     std::string message) {
+  switch (status[0]) {
+    // Counter bumps for the statuses whose single construction site is
+    // here; the richer paths (deadline, shed, quarantine, runtime) count
+    // at their decision points because one status can have several causes.
+    case 'b': bad_requests_.fetch_add(1); break;
+    case 'i': internal_errors_.fetch_add(1); break;
+    default: break;
+  }
+  json::JValue resp{json::JObject{}};
+  if (req != nullptr) {
+    if (const json::JValue* id = req->get("id")) resp.set("id", *id);
+  }
+  resp.set("status", status);
+  if (code != nullptr && code[0] != '\0') resp.set("code", code);
+  resp.set("message", std::move(message));
+  attach_stats(resp);
+  return resp;
+}
+
+ServiceStats Service::stats() const {
+  ServiceStats s;
+  s.received = received_.load();
+  s.ok = ok_.load();
+  s.compile_errors = compile_errors_.load();
+  s.runtime_errors = runtime_errors_.load();
+  s.deadline_expired = deadline_expired_.load();
+  s.shed = shed_.load();
+  s.quarantined = quarantined_.load();
+  s.bad_requests = bad_requests_.load();
+  s.internal_errors = internal_errors_.load();
+  s.cache_hits = cache_.hits();
+  s.cache_misses = cache_.misses();
+  s.cache_evictions = cache_.evictions();
+  s.breaker_trips = breaker_.trip_count();
+  s.cache_bytes = cache_.bytes();
+  s.cache_entries = cache_.entries();
+  return s;
+}
+
+void Service::attach_stats(json::JValue& resp) {
+  const ServiceStats s = stats();
+  json::JValue j{json::JObject{}};
+  j.set("received", s.received);
+  j.set("ok", s.ok);
+  j.set("compile_errors", s.compile_errors);
+  j.set("runtime_errors", s.runtime_errors);
+  j.set("deadline_expired", s.deadline_expired);
+  j.set("shed", s.shed);
+  j.set("quarantined", s.quarantined);
+  j.set("bad_requests", s.bad_requests);
+  j.set("internal_errors", s.internal_errors);
+  j.set("cache_hits", s.cache_hits);
+  j.set("cache_misses", s.cache_misses);
+  j.set("cache_evictions", s.cache_evictions);
+  j.set("breaker_trips", s.breaker_trips);
+  j.set("cache_bytes", s.cache_bytes);
+  j.set("cache_entries", s.cache_entries);
+  resp.set("stats", std::move(j));
+}
+
+// -- WorkerPool ---------------------------------------------------------------
+
+WorkerPool::WorkerPool(int workers, size_t queue_limit) : limit_(queue_limit) {
+  workers_.reserve(static_cast<size_t>(std::max(1, workers)));
+  for (int i = 0; i < std::max(1, workers); ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+WorkerPool::~WorkerPool() { shutdown(); }
+
+bool WorkerPool::try_submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ || queue_.size() >= limit_) return false;
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void WorkerPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+size_t WorkerPool::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void WorkerPool::worker_main() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();  // the Service's own barrier makes this no-throw
+  }
+}
+
+}  // namespace otter::service

@@ -1,0 +1,159 @@
+// otterd's core: a fault-isolated compile-and-run service.
+//
+// The Service is transport-agnostic — otterd feeds it request lines read
+// from a Unix socket, tests and the throughput bench call process_line()
+// directly from many threads. One request = one newline-delimited JSON
+// object in, one JSON object out (the rendered response never contains a
+// raw newline).
+//
+// Robustness contract (DESIGN.md §15):
+//   * admission control — the daemon's WorkerPool has a bounded queue;
+//     overflow is shed immediately with E0008 instead of queueing
+//     unboundedly. Each admitted request carries a wall-clock deadline
+//     (E0009 when it expires while queued or mid-run).
+//   * fault isolation — every request runs under an exception barrier; a
+//     panicking/aborting/poisoned script turns into a structured error
+//     response with the per-rank SpmdFailure breakdown, never a dead
+//     server. The CircuitBreaker quarantines repeat-crashers by content
+//     hash (E0010).
+//   * artifact cache — content-addressed on (script hash, opt level,
+//     machine, strict flag) with LRU eviction under a byte budget; warm
+//     hits skip lexer→optimizer entirely and report "cache":"hit".
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/breaker.hpp"
+#include "service/cache.hpp"
+#include "support/budget.hpp"
+#include "support/json.hpp"
+
+namespace otter::service {
+
+struct ServiceConfig {
+  size_t cache_bytes = 64ull << 20;  ///< artifact cache byte budget
+  double default_deadline = 10.0;    ///< seconds per request when unspecified
+  double max_deadline = 60.0;        ///< ceiling on client-requested deadlines
+  int max_np = 16;                   ///< ranks a request may ask for
+  size_t max_script_bytes = 256 * 1024;  ///< oversized scripts → E0012
+  size_t max_request_bytes = 1ull << 20; ///< oversized request lines → E0012
+  bool allow_fault_plans = true;     ///< accept "fault_plan" (tests/smoke)
+  CircuitBreaker::Options breaker;
+  CompileBudget budget;              ///< per-request compile budget
+};
+
+/// Monotonic counters, snapshotted into every response's "stats" object so
+/// clients (and the smoke test) can watch cache hits and shed counts move.
+struct ServiceStats {
+  uint64_t received = 0;
+  uint64_t ok = 0;
+  uint64_t compile_errors = 0;
+  uint64_t runtime_errors = 0;
+  uint64_t deadline_expired = 0;
+  uint64_t shed = 0;
+  uint64_t quarantined = 0;
+  uint64_t bad_requests = 0;
+  uint64_t internal_errors = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t breaker_trips = 0;
+  size_t cache_bytes = 0;
+  size_t cache_entries = 0;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceConfig cfg = {});
+
+  /// Handles one request line. Never throws; every failure mode becomes a
+  /// structured JSON response. `deadline` bounds queue wait + compile + run
+  /// (zero time_point: derived from the request / config defaults).
+  std::string process_line(
+      const std::string& line,
+      std::chrono::steady_clock::time_point deadline = {});
+
+  /// Builds the deadline a request line asks for (daemon admission stamps
+  /// this before queueing so time spent queued counts against the request).
+  [[nodiscard]] std::chrono::steady_clock::time_point deadline_for(
+      const json::JValue& req) const;
+
+  /// Pre-built E0008 response for a request the admission queue rejected.
+  std::string overload_response(const std::string& line);
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] const ServiceConfig& config() const { return cfg_; }
+
+  /// Raised by an op:"shutdown" request; the daemon polls it.
+  [[nodiscard]] bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_relaxed);
+  }
+  /// The cancel flag wired into every run's SpmdOptions: raising it drains
+  /// in-flight executions promptly on daemon shutdown.
+  [[nodiscard]] const std::atomic<bool>* cancel_flag() const {
+    return &shutdown_;
+  }
+
+ private:
+  json::JValue process(const json::JValue& req,
+                       std::chrono::steady_clock::time_point deadline);
+  json::JValue handle_script(const json::JValue& req,
+                             std::chrono::steady_clock::time_point deadline);
+  json::JValue error_response(const json::JValue* req, const char* status,
+                              const char* code, std::string message);
+  void attach_stats(json::JValue& resp);
+
+  ServiceConfig cfg_;
+  ArtifactCache cache_;
+  CircuitBreaker breaker_;
+  std::atomic<bool> shutdown_{false};
+
+  // Aggregate counters not owned by cache/breaker.
+  std::atomic<uint64_t> received_{0};
+  std::atomic<uint64_t> ok_{0};
+  std::atomic<uint64_t> compile_errors_{0};
+  std::atomic<uint64_t> runtime_errors_{0};
+  std::atomic<uint64_t> deadline_expired_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> quarantined_{0};
+  std::atomic<uint64_t> bad_requests_{0};
+  std::atomic<uint64_t> internal_errors_{0};
+};
+
+/// Bounded worker pool with load-shedding admission: try_submit returns
+/// false (caller sheds with E0008) instead of queueing unboundedly.
+class WorkerPool {
+ public:
+  WorkerPool(int workers, size_t queue_limit);
+  ~WorkerPool();
+
+  /// Enqueues a job unless the queue is full or the pool is stopping.
+  bool try_submit(std::function<void()> job);
+
+  /// Stops accepting, runs what is queued, joins the workers.
+  void shutdown();
+
+  [[nodiscard]] size_t queued() const;
+  [[nodiscard]] size_t queue_limit() const { return limit_; }
+
+ private:
+  void worker_main();
+
+  const size_t limit_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace otter::service

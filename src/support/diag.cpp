@@ -5,6 +5,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "support/json.hpp"
+
 namespace otter {
 
 int SourceManager::load_file(const std::string& path) {
@@ -25,24 +27,12 @@ const char* severity_name(DiagSeverity s) {
   return "?";
 }
 
+// Diagnostic messages and file names can carry arbitrary bytes straight out
+// of a fuzzed script (source snippets in lexer errors, for instance); the
+// shared escaper guarantees valid-JSON output by escaping control characters
+// and substituting U+FFFD for malformed UTF-8.
 void json_escape(std::ostream& os, const std::string& s) {
-  for (char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\r': os << "\\r"; break;
-      case '\t': os << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
+  os << json::json_escape(s);
 }
 }  // namespace
 

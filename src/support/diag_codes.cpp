@@ -7,6 +7,7 @@ namespace otter {
 namespace {
 
 constexpr const char* kBudget = "resource budget";
+constexpr const char* kService = "compile service (otterd)";
 constexpr const char* kLexer = "lexer";
 constexpr const char* kParser = "parser";
 constexpr const char* kResolve = "identifier resolution";
@@ -25,6 +26,11 @@ const std::vector<DiagCodeInfo> kRegistry = {
   {"E0005", "E00", kBudget,  "SSA version budget exceeded"},
   {"E0006", "E00", kBudget,  "function instantiation budget exceeded"},
   {"E0007", "E00", kBudget,  "LIR instruction budget exceeded"},
+  {"E0008", "E00", kService, "server overloaded: admission queue full, request shed"},
+  {"E0009", "E00", kService, "request wall-clock deadline exceeded"},
+  {"E0010", "E00", kService, "script quarantined after repeated crashes (circuit breaker open)"},
+  {"E0011", "E00", kService, "malformed service request"},
+  {"E0012", "E00", kService, "request exceeds the service admission limits"},
 
   {"E1101", "E11", kLexer,   "unexpected character"},
   {"E1102", "E11", kLexer,   "unterminated string literal"},
@@ -104,6 +110,7 @@ const std::vector<DiagCodeInfo> kRegistry = {
   {"E5001", "E50", kRuntime, "parallel run-time error"},
   {"E5002", "E50", kRuntime, "interpreter run-time error"},
   {"E5003", "E50", kRuntime, "shape guard failed (degraded inference assumption wrong)"},
+  {"E5004", "E50", kRuntime, "execution cancelled or request deadline exceeded"},
 
   {"E6001", "E60", kVerify,  "reference to an undeclared variable"},
   {"E6002", "E60", kVerify,  "compiler temporary used before definition"},

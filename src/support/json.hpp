@@ -1,0 +1,133 @@
+// Minimal JSON support shared by the diagnostics engine, the otterd
+// service protocol, and tooling.
+//
+// Scope: exactly what the newline-delimited request/response protocol and
+// machine-readable diagnostics need — parse a self-contained document into
+// a tree of JValue nodes, and render trees back out with RFC 8259-valid
+// string escaping. Numbers are doubles (MATLAB semantics all the way down).
+//
+// String safety: writers must never emit invalid JSON no matter what bytes
+// end up inside a message (fuzz-corpus scripts routinely carry raw control
+// characters and non-UTF-8 bytes into source snippets). json_escape
+// validates UTF-8 as it renders: control characters become \u00XX escapes
+// and malformed byte sequences are replaced with U+FFFD, so the output is
+// always valid UTF-8 JSON.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace otter::json {
+
+class JValue;
+using JArray = std::vector<JValue>;
+/// Object members keep insertion order (protocol responses render stably).
+using JObject = std::vector<std::pair<std::string, JValue>>;
+
+/// One JSON value: null, bool, number (double), string, array, or object.
+class JValue {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  JValue() = default;
+  JValue(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  JValue(bool b) : kind_(Kind::Bool), bool_(b) {}  // NOLINT
+  JValue(double n) : kind_(Kind::Number), num_(n) {}  // NOLINT
+  JValue(int n) : kind_(Kind::Number), num_(n) {}  // NOLINT
+  JValue(long n)  // NOLINT(google-explicit-constructor)
+      : kind_(Kind::Number), num_(static_cast<double>(n)) {}
+  JValue(unsigned long n)  // NOLINT(google-explicit-constructor)
+      : kind_(Kind::Number), num_(static_cast<double>(n)) {}
+  JValue(std::string s) : kind_(Kind::String), str_(std::move(s)) {}  // NOLINT
+  JValue(const char* s) : kind_(Kind::String), str_(s) {}  // NOLINT
+  JValue(JArray a) : kind_(Kind::Array), arr_(std::move(a)) {}  // NOLINT
+  JValue(JObject o) : kind_(Kind::Object), obj_(std::move(o)) {}  // NOLINT
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::Null; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::Bool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::Number; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::String; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::Array; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::Object; }
+
+  [[nodiscard]] bool as_bool(bool dflt = false) const {
+    return is_bool() ? bool_ : dflt;
+  }
+  [[nodiscard]] double as_number(double dflt = 0.0) const {
+    return is_number() ? num_ : dflt;
+  }
+  [[nodiscard]] const std::string& as_string() const { return str_; }
+  [[nodiscard]] const JArray& as_array() const { return arr_; }
+  [[nodiscard]] const JObject& as_object() const { return obj_; }
+
+  /// Object member lookup (first match); nullptr when absent or not an
+  /// object.
+  [[nodiscard]] const JValue* get(std::string_view key) const {
+    if (kind_ != Kind::Object) return nullptr;
+    for (const auto& [k, v] : obj_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  /// Convenience typed accessors for protocol fields.
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       std::string dflt = "") const {
+    const JValue* v = get(key);
+    return (v != nullptr && v->is_string()) ? v->str_ : std::move(dflt);
+  }
+  [[nodiscard]] double get_number(std::string_view key, double dflt) const {
+    const JValue* v = get(key);
+    return (v != nullptr && v->is_number()) ? v->num_ : dflt;
+  }
+  [[nodiscard]] bool get_bool(std::string_view key, bool dflt) const {
+    const JValue* v = get(key);
+    return (v != nullptr && v->is_bool()) ? v->bool_ : dflt;
+  }
+
+  /// Appends a member (objects only; no-op otherwise).
+  void set(std::string key, JValue v) {
+    if (kind_ == Kind::Object) obj_.emplace_back(std::move(key), std::move(v));
+  }
+
+  /// Compact single-line rendering (the protocol is newline-delimited, so
+  /// a rendered value never contains a raw newline).
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  JArray arr_;
+  JObject obj_;
+};
+
+/// Builds an object from an initializer list, keeping order.
+inline JValue obj(JObject members) { return JValue(std::move(members)); }
+
+/// Escapes `s` as the *contents* of a JSON string literal (no surrounding
+/// quotes): ", \, and control characters are escaped, valid UTF-8 passes
+/// through unchanged, and invalid UTF-8 bytes are replaced with U+FFFD so
+/// the result is always valid JSON regardless of the input bytes.
+std::string json_escape(std::string_view s);
+
+/// Parse errors carry a byte offset and a short reason.
+struct ParseError {
+  size_t offset = 0;
+  std::string reason;
+};
+
+/// Parses one complete JSON document. Returns nullopt on malformed input
+/// (reason in *err when provided). Nesting is capped at `max_depth` so a
+/// hostile request cannot overflow the stack.
+std::optional<JValue> parse(std::string_view text, ParseError* err = nullptr,
+                            int max_depth = 64);
+
+}  // namespace otter::json

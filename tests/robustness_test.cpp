@@ -46,6 +46,26 @@ TEST(Diagnostics, JsonEscapesSpecialCharacters) {
             std::string::npos);
 }
 
+TEST(Diagnostics, JsonEscapesControlCharsAndInvalidUtf8) {
+  // Regression: messages carrying raw control characters or non-UTF-8
+  // bytes (fuzz corpus scripts routinely quote such source text back)
+  // must still render as valid JSON — \u00XX escapes for control bytes,
+  // U+FFFD for malformed sequences, never the raw byte.
+  SourceManager sm;
+  DiagEngine diags(&sm);
+  diags.error("E9999", {}, std::string("ctrl \x01\x02 del \x7f"));
+  diags.error("E9999", {}, std::string("bad utf8 \xff\xfe tail \xc3"));
+  std::string json = diags.to_json();
+  for (char c : json) {
+    unsigned char u = static_cast<unsigned char>(c);
+    EXPECT_TRUE(u == '\n' || u >= 0x20) << "raw control byte in JSON output";
+  }
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  EXPECT_NE(json.find("\\u0002"), std::string::npos);
+  EXPECT_NE(json.find("\\ufffd"), std::string::npos);  // U+FFFD, escaped
+  EXPECT_EQ(json.find('\xff'), std::string::npos);
+}
+
 TEST(Diagnostics, EveryCompileErrorCarriesACode) {
   // One representative bad input per pipeline phase.
   const char* inputs[] = {

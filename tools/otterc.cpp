@@ -19,7 +19,9 @@
 //                          "seed=42,drop=0.1,crash=2@7" (see minimpi/fault.hpp)
 //   --timeout=SECS         watchdog deadline for a blocked rank (default 30)
 //   --retries=N            re-run a failed SPMD execution up to N extra times
-//                          with virtual-time backoff
+//                          with capped, jittered virtual-time backoff
+//   --retry-cap=SECS       ceiling on a single retry's backoff (default 30;
+//                          0 = uncapped exponential)
 //   --diag-format=text|json  diagnostic rendering (default text)
 //   --max-errors=N         stop after N errors (0 = unlimited, the default)
 //   --strict-infer         unresolvable shapes are compile errors instead of
@@ -40,17 +42,28 @@
 //   --no-licm              keep loop-invariant communication in place
 //   --dump-lir=pre-opt|post-opt  print the LIR before or after the
 //                          optimizer and exit (post-opt == --emit=lir)
+//   --remote=SOCKET        ship the request to an otterd daemon instead of
+//                          compiling locally (np/machine/opt level/seed/
+//                          fault plan/deadline travel with it)
+//   --op=ping|stats|shutdown  control request for --remote (no script)
+//   --deadline=SECS        per-request deadline for --remote
 //
 // Exit codes (sysexits-style so scripts and the fuzzer can triage):
 //   0  success
-//   64 usage error (bad flags)
+//   64 usage error (bad flags, daemon rejected the request as malformed)
 //   65 the input could not be compiled (diagnostics printed)
 //   66 the input file could not be opened
-//   70 the program failed at run time (RtError / interpreter / SPMD failure)
+//   70 the program failed at run time (RtError / interpreter / SPMD
+//      failure / request deadline)
 //   71 internal error (unexpected exception)
+//   75 transient daemon refusal — overloaded (E0008) or quarantined
+//      (E0010); retry later (EX_TEMPFAIL)
+#include <unistd.h>
+
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "analysis/lint.hpp"
@@ -58,6 +71,8 @@
 #include "codegen/emit.hpp"
 #include "driver/pipeline.hpp"
 #include "interp/value.hpp"
+#include "service/client.hpp"
+#include "support/json.hpp"
 
 namespace {
 
@@ -67,6 +82,7 @@ constexpr int kExitCompile = 65;   // EX_DATAERR: input rejected
 constexpr int kExitNoInput = 66;   // EX_NOINPUT
 constexpr int kExitRuntime = 70;   // EX_SOFTWARE: program failed at run time
 constexpr int kExitInternal = 71;  // EX_OSERR-adjacent: compiler bug
+constexpr int kExitTempFail = 75;  // EX_TEMPFAIL: daemon shed or quarantined
 
 struct Options {
   std::string script_path;
@@ -81,6 +97,7 @@ struct Options {
   std::string fault_plan;
   double timeout = 30.0;
   int retries = 0;
+  double retry_cap = 30.0;
   std::string diag_format = "text";
   size_t max_errors = 0;
   bool strict_infer = false;
@@ -93,6 +110,9 @@ struct Options {
   bool fuse = true;
   bool licm = true;
   std::string dump_lir;
+  std::string remote;      // otterd socket path; empty = compile locally
+  std::string remote_op;   // ping | stats | shutdown (needs --remote)
+  double deadline = 0.0;   // remote per-request deadline (0 = server default)
 };
 
 int usage() {
@@ -101,11 +121,14 @@ int usage() {
       "              [--np=N] [--machine=NAME] [--dist=block|cyclic]\n"
       "              [--no-peephole] [--seed=N] [--times]\n"
       "              [--fault-plan=SPEC] [--timeout=SECS] [--retries=N]\n"
+      "              [--retry-cap=SECS]\n"
       "              [--diag-format=text|json] [--max-errors=N]\n"
       "              [--strict-infer] [--budget-seconds=SECS]\n"
       "              [--lint] [--Werror] [--no-verify-lir] [--no-dse]\n"
       "              [-O0|-O1|-O2] [--no-fuse] [--no-licm]\n"
-      "              [--dump-lir=pre-opt|post-opt]\n";
+      "              [--dump-lir=pre-opt|post-opt]\n"
+      "              [--remote=SOCKET [--op=ping|stats|shutdown]\n"
+      "               [--deadline=SECS]]\n";
   return kExitUsage;
 }
 
@@ -125,6 +148,7 @@ bool parse_args(int argc, char** argv, Options& o) try {
     else if (auto v = value("--fault-plan=")) o.fault_plan = *v;
     else if (auto v = value("--timeout=")) o.timeout = std::stod(*v);
     else if (auto v = value("--retries=")) o.retries = std::stoi(*v);
+    else if (auto v = value("--retry-cap=")) o.retry_cap = std::stod(*v);
     else if (auto v = value("--diag-format=")) o.diag_format = *v;
     else if (auto v = value("--max-errors=")) {
       o.max_errors = static_cast<size_t>(std::stoull(*v));
@@ -134,6 +158,9 @@ bool parse_args(int argc, char** argv, Options& o) try {
       o.dist = (*v == "cyclic") ? otter::rt::Dist::Cyclic
                                 : otter::rt::Dist::RowBlock;
     } else if (auto v = value("--dump-lir=")) o.dump_lir = *v;
+    else if (auto v = value("--remote=")) o.remote = *v;
+    else if (auto v = value("--op=")) o.remote_op = *v;
+    else if (auto v = value("--deadline=")) o.deadline = std::stod(*v);
     else if (a == "-O0") o.opt_level = 0;
     else if (a == "-O1") o.opt_level = 1;
     else if (a == "-O2") o.opt_level = 2;
@@ -154,6 +181,12 @@ bool parse_args(int argc, char** argv, Options& o) try {
   if (!o.dump_lir.empty() && o.dump_lir != "pre-opt" &&
       o.dump_lir != "post-opt") {
     return false;
+  }
+  if (!o.remote_op.empty()) {
+    // Control ops go to the daemon and need no input script.
+    return !o.remote.empty() && (o.remote_op == "ping" ||
+                                 o.remote_op == "stats" ||
+                                 o.remote_op == "shutdown");
   }
   return !o.script_path.empty();
 } catch (const std::exception&) {
@@ -194,11 +227,92 @@ int report_runtime_error(const std::string& code, otter::SourceLoc loc,
   return kExitRuntime;
 }
 
+/// Ships the request to an otterd daemon and renders its JSON response,
+/// mapping the protocol status onto the local exit-code contract (plus 75,
+/// EX_TEMPFAIL, for transient refusals a client should retry).
+int run_remote(const Options& opt, const std::string& source) {
+  namespace json = otter::json;
+  json::JValue req{json::JObject{}};
+  if (!opt.remote_op.empty()) {
+    req.set("op", opt.remote_op);
+  } else {
+    req.set("op", "compile_run");
+    req.set("script", source);
+    req.set("np", opt.np);
+    req.set("machine", opt.machine);
+    req.set("opt_level", opt.opt_level);
+    req.set("strict_infer", opt.strict_infer);
+    req.set("rand_seed", opt.seed);
+    if (!opt.fault_plan.empty()) req.set("fault_plan", opt.fault_plan);
+    if (opt.deadline > 0) req.set("deadline", opt.deadline);
+  }
+
+  std::string err;
+  int fd = otter::service::unix_connect(opt.remote, &err);
+  if (fd < 0) {
+    std::cerr << "otterc: " << err << '\n';
+    return kExitTempFail;  // daemon not up (yet); retryable
+  }
+  std::string line;
+  bool io_ok = otter::service::send_line(fd, req.dump()) &&
+               otter::service::recv_line(fd, &line);
+  ::close(fd);
+  if (!io_ok) {
+    std::cerr << "otterc: daemon connection dropped mid-request\n";
+    return kExitTempFail;
+  }
+
+  std::optional<json::JValue> resp = json::parse(line);
+  if (!resp || !resp->is_object()) {
+    std::cerr << "otterc: unintelligible daemon response: " << line << '\n';
+    return kExitInternal;
+  }
+  if (opt.remote_op == "stats") {
+    std::cout << line << '\n';  // raw JSON: stats consumers want the machine form
+    return kExitOk;
+  }
+
+  const std::string status = resp->get_string("status", "internal_error");
+  if (const json::JValue* diags = resp->get("diagnostics")) {
+    for (const json::JValue& d : diags->as_array()) {
+      std::cerr << "otterc: " << d.get_string("severity", "error");
+      std::string code = d.get_string("code", "");
+      if (!code.empty()) std::cerr << " [" << code << ']';
+      double dline = d.get_number("line", 0);
+      if (dline > 0) std::cerr << " at line " << static_cast<long>(dline);
+      std::cerr << ": " << d.get_string("message", "") << '\n';
+    }
+  }
+  if (status == "ok") {
+    std::cout << resp->get_string("output", "");
+    return kExitOk;
+  }
+  std::cerr << "otterc: daemon: " << status;
+  std::string code = resp->get_string("code", "");
+  if (!code.empty()) std::cerr << " [" << code << ']';
+  std::cerr << ": " << resp->get_string("message", "") << '\n';
+  if (const json::JValue* failures = resp->get("failures")) {
+    for (const json::JValue& f : failures->as_array()) {
+      std::cerr << "  rank " << static_cast<long>(f.get_number("rank", -1))
+                << " [" << (f.get_bool("primary", false) ? "failed" : "aborted")
+                << ", " << static_cast<long>(f.get_number("ops_completed", 0))
+                << " comm ops]: " << f.get_string("what", "") << '\n';
+    }
+  }
+  if (status == "compile_error") return kExitCompile;
+  if (status == "runtime_error" || status == "deadline") return kExitRuntime;
+  if (status == "shed" || status == "quarantined") return kExitTempFail;
+  if (status == "bad_request") return kExitUsage;
+  return kExitInternal;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options opt;
   if (!parse_args(argc, argv, opt)) return usage();
+
+  if (!opt.remote_op.empty()) return run_remote(opt, "");
 
   std::ifstream in(opt.script_path);
   if (!in) {
@@ -208,6 +322,8 @@ int main(int argc, char** argv) {
   std::ostringstream ss;
   ss << in.rdbuf();
   std::string source = ss.str();
+
+  if (!opt.remote.empty()) return run_remote(opt, source);
 
   auto loader = otter::driver::dir_loader(dirname_of(opt.script_path));
 
@@ -336,6 +452,7 @@ int main(int argc, char** argv) {
     if (opt.retries > 0) {
       otter::driver::RetryOptions ropts;
       ropts.max_attempts = opt.retries + 1;
+      ropts.backoff_cap = opt.retry_cap;
       auto rr = otter::driver::run_with_retries(compiled->lir, profile, opt.np,
                                                 eopts, ropts);
       for (const auto& f : rr.failures) {

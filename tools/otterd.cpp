@@ -1,0 +1,256 @@
+// otterd — long-lived compile-and-run daemon for the Otter compiler.
+//
+// Accepts MATLAB-subset scripts over a local Unix socket as newline-
+// delimited JSON requests, compiles them through the standard pipeline,
+// runs them on the virtual-time SPMD executor, and streams one JSON
+// response line back per request. The interesting parts (admission
+// control, circuit breaker, artifact cache, exception barriers) live in
+// src/service/server.cpp — this file owns only the sockets and threads.
+//
+// Usage:
+//   otterd --listen=/path/to.sock [options]
+//
+// Options:
+//   --workers=N            compile/run worker threads (default 4)
+//   --queue=N              admission queue depth; further requests are shed
+//                          with E0008 (default 16)
+//   --cache-mb=N           artifact cache byte budget (default 64)
+//   --deadline=SECS        default per-request deadline (default 10)
+//   --max-deadline=SECS    ceiling on client-requested deadlines (default 60)
+//   --max-np=N             most ranks a request may ask for (default 16)
+//   --max-script-kb=N      largest accepted script (default 256)
+//   --breaker-threshold=N  consecutive crashes that quarantine a script
+//                          (default 3)
+//   --breaker-cooldown=S   quarantine time before a probe (default 30)
+//   --no-fault-plans       reject requests carrying "fault_plan"
+//
+// The daemon exits on SIGINT/SIGTERM or an {"op":"shutdown"} request,
+// draining queued work first. Exit code 0 on clean shutdown, 64 on usage
+// errors, 71 if the socket cannot be created.
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/server.hpp"
+#include "support/json.hpp"
+
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 64;
+constexpr int kExitSocket = 71;
+
+std::atomic<bool> g_signalled{false};
+
+void on_signal(int) { g_signalled.store(true); }
+
+struct Options {
+  std::string listen;
+  int workers = 4;
+  size_t queue = 16;
+  size_t cache_mb = 64;
+  otter::service::ServiceConfig cfg;
+};
+
+int usage() {
+  std::cerr <<
+      "usage: otterd --listen=SOCKET [--workers=N] [--queue=N]\n"
+      "              [--cache-mb=N] [--deadline=SECS] [--max-deadline=SECS]\n"
+      "              [--max-np=N] [--max-script-kb=N]\n"
+      "              [--breaker-threshold=N] [--breaker-cooldown=SECS]\n"
+      "              [--no-fault-plans]\n";
+  return kExitUsage;
+}
+
+bool parse_args(int argc, char** argv, Options& o) try {
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto value = [&](const char* prefix) -> std::optional<std::string> {
+      size_t n = std::strlen(prefix);
+      if (a.rfind(prefix, 0) == 0) return a.substr(n);
+      return std::nullopt;
+    };
+    if (auto v = value("--listen=")) o.listen = *v;
+    else if (auto v = value("--workers=")) o.workers = std::stoi(*v);
+    else if (auto v = value("--queue=")) o.queue = std::stoull(*v);
+    else if (auto v = value("--cache-mb=")) o.cache_mb = std::stoull(*v);
+    else if (auto v = value("--deadline=")) o.cfg.default_deadline = std::stod(*v);
+    else if (auto v = value("--max-deadline=")) o.cfg.max_deadline = std::stod(*v);
+    else if (auto v = value("--max-np=")) o.cfg.max_np = std::stoi(*v);
+    else if (auto v = value("--max-script-kb=")) {
+      o.cfg.max_script_bytes = std::stoull(*v) * 1024;
+    } else if (auto v = value("--breaker-threshold=")) {
+      o.cfg.breaker.threshold = std::stoi(*v);
+    } else if (auto v = value("--breaker-cooldown=")) {
+      o.cfg.breaker.cooldown_seconds = std::stod(*v);
+    } else if (a == "--no-fault-plans") {
+      o.cfg.allow_fault_plans = false;
+    } else {
+      return false;
+    }
+  }
+  o.cfg.cache_bytes = o.cache_mb << 20;
+  return !o.listen.empty() && o.workers >= 1 && o.queue >= 1;
+} catch (const std::exception&) {
+  return false;
+}
+
+/// One client connection: the fd plus the write lock serializing response
+/// lines from worker threads. Shared by the reader thread and any queued
+/// jobs; the last owner's destructor closes the socket.
+struct ConnState {
+  explicit ConnState(int fd_in) : fd(fd_in) {}
+  ~ConnState() {
+    if (fd >= 0) ::close(fd);
+  }
+  ConnState(const ConnState&) = delete;
+  ConnState& operator=(const ConnState&) = delete;
+
+  void write_line(const std::string& line) {
+    std::lock_guard<std::mutex> lock(write_mu);
+    std::string framed = line;
+    framed.push_back('\n');
+    size_t off = 0;
+    while (off < framed.size()) {
+      ssize_t n = ::write(fd, framed.data() + off, framed.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return;  // client went away; the request's work is already done
+      }
+      off += static_cast<size_t>(n);
+    }
+  }
+
+  int fd;
+  std::mutex write_mu;
+};
+
+/// Reads lines off one connection, stamping each request's deadline at
+/// admission time (queue wait counts against the request) and either
+/// queueing it or shedding with E0008. Control ops (ping/stats/shutdown)
+/// bypass the queue so they respond even when the pool is saturated.
+void serve_connection(std::shared_ptr<ConnState> conn,
+                      otter::service::Service& svc,
+                      otter::service::WorkerPool& pool,
+                      const std::atomic<bool>& stop) {
+  std::string buf;
+  char chunk[4096];
+  while (!stop.load(std::memory_order_relaxed)) {
+    pollfd p{conn->fd, POLLIN, 0};
+    int pr = ::poll(&p, 1, 200);
+    if (pr < 0 && errno != EINTR) break;
+    if (pr <= 0) continue;
+    ssize_t n = ::read(conn->fd, chunk, sizeof(chunk));
+    if (n == 0) break;  // client closed
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    buf.append(chunk, static_cast<size_t>(n));
+    size_t nl;
+    while ((nl = buf.find('\n')) != std::string::npos) {
+      std::string line = buf.substr(0, nl);
+      buf.erase(0, nl + 1);
+      if (line.empty()) continue;
+
+      // Parse once here for routing + the admission deadline stamp; the
+      // Service re-validates everything under its own barrier.
+      std::optional<otter::json::JValue> req = otter::json::parse(line);
+      const std::string op =
+          req ? req->get_string("op", "compile_run") : "compile_run";
+      if (req && op != "compile_run") {
+        conn->write_line(svc.process_line(line));
+        continue;
+      }
+      auto deadline = req ? svc.deadline_for(*req)
+                          : std::chrono::steady_clock::time_point{};
+      bool admitted = pool.try_submit([conn, line, deadline, &svc] {
+        conn->write_line(svc.process_line(line, deadline));
+      });
+      if (!admitted) conn->write_line(svc.overload_response(line));
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return usage();
+
+  ::signal(SIGPIPE, SIG_IGN);  // dead clients must not kill the daemon
+  ::signal(SIGINT, on_signal);
+  ::signal(SIGTERM, on_signal);
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (opt.listen.size() >= sizeof(addr.sun_path)) {
+    std::cerr << "otterd: socket path too long: " << opt.listen << '\n';
+    return kExitUsage;
+  }
+  std::memcpy(addr.sun_path, opt.listen.c_str(), opt.listen.size() + 1);
+  ::unlink(opt.listen.c_str());
+
+  int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::cerr << "otterd: socket: " << std::strerror(errno) << '\n';
+    return kExitSocket;
+  }
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd, 64) != 0) {
+    std::cerr << "otterd: bind " << opt.listen << ": " << std::strerror(errno)
+              << '\n';
+    ::close(listen_fd);
+    return kExitSocket;
+  }
+
+  otter::service::Service svc(opt.cfg);
+  otter::service::WorkerPool pool(opt.workers, opt.queue);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> conns;
+
+  std::cerr << "otterd: listening on " << opt.listen << " (" << opt.workers
+            << " workers, queue " << opt.queue << ", cache " << opt.cache_mb
+            << " MB)\n";
+
+  while (!g_signalled.load() && !svc.shutdown_requested()) {
+    pollfd p{listen_fd, POLLIN, 0};
+    int pr = ::poll(&p, 1, 200);
+    if (pr < 0 && errno != EINTR) break;
+    if (pr <= 0) continue;
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) continue;
+    auto conn = std::make_shared<ConnState>(fd);
+    conns.emplace_back([conn, &svc, &pool, &stop] {
+      serve_connection(conn, svc, pool, stop);
+    });
+  }
+
+  // Clean shutdown: stop accepting, drain queued work, unblock readers.
+  // Service::cancel_flag() is already raised for an op:"shutdown" exit, so
+  // in-flight runs wind down via E5004 instead of running to completion.
+  ::close(listen_fd);
+  pool.shutdown();
+  stop.store(true);
+  for (std::thread& t : conns) {
+    if (t.joinable()) t.join();
+  }
+  ::unlink(opt.listen.c_str());
+  std::cerr << "otterd: shut down cleanly\n";
+  return kExitOk;
+}
