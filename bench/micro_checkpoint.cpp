@@ -1,0 +1,154 @@
+// Micro-benchmark for coordinated checkpoint/restart (PR: "checkpoint/
+// restart with deterministic crash recovery").
+//
+// Three exhibits, all recorded in the JSON report:
+//   * micro_ckpt_overhead — wall-clock seconds of a 500+-statement script on
+//     the direct executor with checkpointing off vs intervals 16/64/256.
+//     The cost of an interval is two barriers plus serializing every rank's
+//     frame; coarser intervals amortize it away.
+//   * micro_ckpt_commops — the same runs' total communication ops, isolating
+//     the barrier traffic each interval adds.
+//   * micro_ckpt_resume — wall seconds to restore the newest generation and
+//     run only the tail of the program (resume latency), vs recomputing the
+//     whole run from scratch.
+#include <stdlib.h>
+
+#include <chrono>
+#include <filesystem>
+#include <functional>
+#include <sstream>
+
+#include "figure_common.hpp"
+
+namespace {
+
+using namespace otter;
+using namespace otter::bench;
+
+constexpr int kBlocks = 256;  // two statements per block + prologue/epilogue
+
+/// Checkpoint-friendly workload: a long run of top-level statements (each a
+/// quiescent commit candidate), every block doing an elementwise update and
+/// an allreduce so the barrier cost competes with real communication.
+std::string many_statement_script() {
+  std::ostringstream ss;
+  ss << "a = ones(16, 16);\n"
+        "s = 0;\n";
+  for (int i = 0; i < kBlocks; ++i) {
+    ss << "a = a + 1;\n"
+          "s = s + sum(sum(a));\n";
+  }
+  ss << "disp(s)\n";
+  return ss.str();
+}
+
+struct Measured {
+  double wall_seconds = 0.0;
+  uint64_t comm_ops = 0;
+  std::string output;
+};
+
+Measured run_once(const lower::LProgram& lir, int np,
+                  const driver::ExecOptions& eopts) {
+  auto start = std::chrono::steady_clock::now();
+  driver::ParallelRun r = driver::run_parallel(lir, mpi::ideal(np), np, eopts);
+  auto stop = std::chrono::steady_clock::now();
+  Measured m;
+  m.wall_seconds = std::chrono::duration<double>(stop - start).count();
+  m.comm_ops = r.times.total_ops();
+  m.output = r.output;
+  return m;
+}
+
+double best_of(int reps, const std::function<double()>& f) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) best = std::min(best, f());
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  parse_bench_args(argc, argv);
+
+  std::printf("=== micro_checkpoint: coordinated snapshot overhead ===\n\n");
+
+  auto compiled = driver::compile_script(many_statement_script(), {},
+                                         driver::CompileOptions{});
+  if (!compiled->ok) {
+    std::cerr << "micro_checkpoint: compile failed:\n"
+              << compiled->diags.to_string();
+    std::exit(1);
+  }
+
+  std::string tmpl =
+      (std::filesystem::temp_directory_path() / "otter-ckpt-bench-XXXXXX");
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  const std::string root = ::mkdtemp(buf.data());
+
+  const int kNp = 4;
+  const int kStatements = 2 * kBlocks + 3;
+
+  Measured base = run_once(compiled->lir, kNp, {});
+  double base_secs = best_of(3, [&] {
+    return run_once(compiled->lir, kNp, {}).wall_seconds;
+  });
+  bench_records().push_back({"micro_ckpt_overhead", "ideal", kNp, kStatements,
+                             base_secs, base.comm_ops, "executor-nockpt"});
+  std::printf("%d-statement script, p=%d:\n", kStatements, kNp);
+  std::printf("  no checkpoints     %10.4f s  %8llu ops\n", base_secs,
+              static_cast<unsigned long long>(base.comm_ops));
+
+  std::string last_dir;
+  uint32_t last_interval = 0;
+  for (uint32_t interval : {16u, 64u, 256u}) {
+    const std::string dir = root + "/i" + std::to_string(interval);
+    driver::ExecOptions eo;
+    eo.ckpt.interval = interval;
+    eo.ckpt.dir = dir;
+    Measured m = run_once(compiled->lir, kNp, eo);
+    if (m.output != base.output) {
+      std::cerr << "micro_checkpoint: checkpointed output diverged\n";
+      std::exit(1);
+    }
+    double secs = best_of(3, [&] {
+      return run_once(compiled->lir, kNp, eo).wall_seconds;
+    });
+    std::string backend = "executor-ckpt-" + std::to_string(interval);
+    bench_records().push_back({"micro_ckpt_overhead", "ideal", kNp,
+                               kStatements, secs, m.comm_ops, backend});
+    std::printf("  interval %-9u %10.4f s  %8llu ops  (%+.1f%% time)\n",
+                interval, secs, static_cast<unsigned long long>(m.comm_ops),
+                100.0 * (secs - base_secs) / base_secs);
+    last_dir = dir;
+    last_interval = interval;
+  }
+
+  // Resume latency: restore the newest generation the interval-256 run left
+  // behind (statement 256 of ~515) and run only the tail.
+  driver::ExecOptions resume_eo;
+  resume_eo.ckpt.interval = last_interval;
+  resume_eo.ckpt.dir = last_dir;
+  resume_eo.ckpt.resume = true;
+  Measured tail = run_once(compiled->lir, kNp, resume_eo);
+  if (tail.output != base.output) {
+    std::cerr << "micro_checkpoint: resumed output diverged\n";
+    std::exit(1);
+  }
+  double tail_secs = best_of(3, [&] {
+    return run_once(compiled->lir, kNp, resume_eo).wall_seconds;
+  });
+  bench_records().push_back({"micro_ckpt_resume", "ideal", kNp, kStatements,
+                             tail_secs, tail.comm_ops, "executor-resume"});
+  std::printf("\nresume from newest generation (interval %u):\n",
+              last_interval);
+  std::printf("  full recompute     %10.4f s\n", base_secs);
+  std::printf("  restore + tail     %10.4f s\n", tail_secs);
+
+  std::error_code ec;
+  std::filesystem::remove_all(root, ec);
+
+  write_bench_json();
+  return 0;
+}

@@ -10,6 +10,10 @@
 #   * a concurrent flood sheds excess requests with E0008 while the server
 #     keeps answering pings;
 #   * warm-cache hits show up in the stats counters;
+#   * a checkpointed run writes generations under --checkpoint-root and a
+#     resume of the same job reproduces the original output;
+#   * a daemon started *without* --allow-fault-injection rejects fault
+#     plans with E0012 (the chaos knobs are an explicit opt-in);
 #   * {"op":"shutdown"} drains and exits 0, removing the socket.
 #
 # Usage: scripts/daemon_smoke.sh OTTERD_BIN OTTERC_BIN
@@ -23,8 +27,11 @@ sock="${tmp}/otterd.sock"
 fails=0
 daemon_pid=
 
+daemon2_pid=
+
 cleanup() {
   [[ -n "${daemon_pid}" ]] && kill "${daemon_pid}" 2>/dev/null
+  [[ -n "${daemon2_pid}" ]] && kill "${daemon2_pid}" 2>/dev/null
   rm -rf "${tmp}"
 }
 trap cleanup EXIT
@@ -49,9 +56,13 @@ expect_grep() {  # expect_grep DESCRIPTION PATTERN FILE
 }
 
 # Deliberately tight limits so every degradation path is reachable fast.
+# Fault injection and checkpointing are both opt-in flags on the daemon;
+# the smoke test exercises the chaos paths, so it opts in.
 "${otterd}" --listen="${sock}" --workers=1 --queue=1 --max-script-kb=1 \
   --breaker-threshold=2 --breaker-cooldown=3600 --deadline=20 \
-  --max-deadline=30 2>"${tmp}/otterd.log" &
+  --max-deadline=30 --allow-fault-injection \
+  --checkpoint-root="${tmp}/ckpt" --checkpoint-mb=4 \
+  2>"${tmp}/otterd.log" &
 daemon_pid=$!
 
 for _ in $(seq 1 50); do
@@ -149,6 +160,62 @@ else
   echo "ok: repeat requests hit the artifact cache"
 fi
 expect_grep "stats reports the breaker trip" '"breaker_trips":1' <(echo "${stats}")
+
+# -- checkpoint/resume over the socket ---------------------------------------
+ckpt_script="${tmp}/ckpt.m"
+{
+  echo 'a = ones(6,6);'
+  echo 's = 0;'
+  for _ in $(seq 1 6); do
+    echo 'a = a + 1;'
+    echo 's = s + sum(sum(a));'
+  done
+  echo 'disp(s)'
+} > "${ckpt_script}"
+out1="$("${otterc}" "${ckpt_script}" --remote="${sock}" --np=2 \
+  --checkpoint-dir=smoke-job --checkpoint=2 2>"${tmp}/ckpt1.err")"
+check "checkpointed remote run succeeds" 0 $?
+if ls "${tmp}/ckpt/smoke-job"/gen-*.ckpt >/dev/null 2>&1; then
+  echo "ok: checkpoint generations written under the server root"
+else
+  echo "FAIL: no gen-*.ckpt under ${tmp}/ckpt/smoke-job"
+  fails=$((fails + 1))
+fi
+out2="$("${otterc}" "${ckpt_script}" --remote="${sock}" --np=2 \
+  --checkpoint-dir=smoke-job --checkpoint=2 --resume 2>"${tmp}/ckpt2.err")"
+check "resumed remote run succeeds" 0 $?
+if [[ "${out2}" == "${out1}" ]]; then
+  echo "ok: resumed run reproduces the original output"
+else
+  echo "FAIL: resume output mismatch ('${out2}' vs '${out1}')"
+  fails=$((fails + 1))
+fi
+
+# -- fault-plan gating: a default daemon rejects chaos knobs ------------------
+sock2="${tmp}/otterd2.sock"
+"${otterd}" --listen="${sock2}" --workers=1 --queue=1 \
+  2>"${tmp}/otterd2.log" &
+daemon2_pid=$!
+for _ in $(seq 1 50); do
+  "${otterc}" --remote="${sock2}" --op=ping >/dev/null 2>&1 && break
+  sleep 0.1
+done
+"${otterc}" "${crash}" --remote="${sock2}" --np=2 --fault-plan=crash=0@1 \
+  2>"${tmp}/gated.err"
+check "default daemon rejects fault plans as a bad request" 64 $?
+expect_grep "fault-plan gating carries E0012" "E0012" "${tmp}/gated.err"
+"${otterc}" "${crash}" --remote="${sock2}" --np=2 --checkpoint-dir=j1 \
+  2>"${tmp}/gated2.err"
+check "default daemon rejects checkpointing (no --checkpoint-root)" 64 $?
+expect_grep "checkpoint gating carries E0012" "E0012" "${tmp}/gated2.err"
+# A malformed plan never reaches any server: otterc validates eagerly.
+"${otterc}" "${crash}" --remote="${sock2}" --np=2 --fault-plan=crash=zz \
+  2>"${tmp}/eager.err"
+check "malformed fault plan is rejected client-side" 64 $?
+expect_grep "eager validation carries E0013" "E0013" "${tmp}/eager.err"
+"${otterc}" --remote="${sock2}" --op=shutdown >/dev/null 2>&1
+wait "${daemon2_pid}" 2>/dev/null
+daemon2_pid=
 
 # -- clean shutdown ----------------------------------------------------------
 "${otterc}" --remote="${sock}" --op=shutdown >/dev/null 2>&1

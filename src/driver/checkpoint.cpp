@@ -1,0 +1,80 @@
+#include "driver/checkpoint.hpp"
+
+#include <utility>
+
+namespace otter::driver {
+
+CheckpointCoordinator::CheckpointCoordinator(
+    CheckpointOptions opts, int nranks,
+    std::function<std::string()> capture_output)
+    : opts_(std::move(opts)),
+      nranks_(nranks),
+      capture_output_(std::move(capture_output)),
+      deposits_(static_cast<size_t>(nranks)) {}
+
+bool CheckpointCoordinator::load() {
+  auto ck = snap::load_latest(opts_.dir, &warnings_);
+  if (!ck) return false;
+  if (ck->meta.nranks != static_cast<uint32_t>(nranks_)) {
+    warnings_.push_back(
+        "[E5005] checkpoint '" + ck->file + "' was taken with " +
+        std::to_string(ck->meta.nranks) + " ranks but this run has " +
+        std::to_string(nranks_) + "; starting fresh");
+    return false;
+  }
+  loaded_ = std::move(*ck);
+  resumed_ = true;
+  next_generation_ = loaded_->meta.generation + 1;
+  return true;
+}
+
+const std::vector<std::byte>* CheckpointCoordinator::rank_state(
+    int rank) const {
+  if (!loaded_ || rank < 0 ||
+      static_cast<size_t>(rank) >= loaded_->rank_state.size())
+    return nullptr;
+  return &loaded_->rank_state[static_cast<size_t>(rank)];
+}
+
+const std::string& CheckpointCoordinator::output_prefix() const {
+  static const std::string empty;
+  return loaded_ ? loaded_->output_prefix : empty;
+}
+
+void CheckpointCoordinator::commit(mpi::Comm& comm, uint64_t statement,
+                                   std::vector<std::byte> state) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    deposits_[static_cast<size_t>(comm.rank())] = std::move(state);
+  }
+  // Barrier 1: every rank has finished the preceding statement and
+  // deposited — the network is quiescent and the deposit set is complete.
+  comm.barrier();
+  if (comm.rank() == 0) {
+    snap::CheckpointMeta meta;
+    meta.generation = next_generation_;
+    meta.statement = statement;
+    meta.nranks = static_cast<uint32_t>(nranks_);
+    meta.interval = opts_.interval;
+    try {
+      snap::write_checkpoint(opts_.dir, meta, deposits_, capture_output_());
+      ++next_generation_;
+      ++written_;
+    } catch (const snap::SnapshotError& e) {
+      // Durability is best-effort: a full disk must not kill a healthy run.
+      std::lock_guard<std::mutex> lock(mu_);
+      warnings_.push_back(std::string("[E5005] checkpoint write failed: ") +
+                          e.what());
+    }
+  }
+  // Barrier 2: the generation is on disk (or abandoned) before any rank may
+  // race ahead and start depositing the next one.
+  comm.barrier();
+}
+
+std::vector<std::string> CheckpointCoordinator::take_warnings() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::exchange(warnings_, {});
+}
+
+}  // namespace otter::driver

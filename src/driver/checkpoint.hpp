@@ -1,0 +1,79 @@
+// Coordinated checkpoint/restart for SPMD runs.
+//
+// The executor reaches a quiescent point between two top-level script
+// statements: no messages are in flight once every rank has arrived (all
+// communication is synchronous matched pairs, and every rank executes the
+// same top-level statement sequence). At each interval boundary the ranks
+// serialize their state (variable store, RNG cursor, comm counters),
+// deposit it here, and a barrier-framed commit has rank 0 write one
+// generation via snap::write_checkpoint. On restart the coordinator loads
+// the newest valid generation (snap::load_latest's recovery ladder) before
+// the ranks spawn, and each rank rebuilds its frame from its own blob.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "minimpi/comm.hpp"
+#include "support/snapshot.hpp"
+
+namespace otter::driver {
+
+/// User-facing checkpoint policy (otterc --checkpoint=N/--checkpoint-dir/
+/// --resume, otterd request fields).
+struct CheckpointOptions {
+  uint32_t interval = 0;  ///< top-level statements between snapshots (0 = off)
+  std::string dir;        ///< generation directory (created on first write)
+  bool resume = false;    ///< restore the newest valid generation first
+
+  [[nodiscard]] bool enabled() const { return interval > 0 && !dir.empty(); }
+};
+
+/// Shared rendezvous for one SPMD run's checkpoints. Created by
+/// run_parallel; every rank holds the same pointer via ExecOptions.
+class CheckpointCoordinator {
+ public:
+  CheckpointCoordinator(CheckpointOptions opts, int nranks,
+                        std::function<std::string()> capture_output);
+
+  /// Pre-run restore (single-threaded, before ranks spawn). Returns true
+  /// when a valid checkpoint with a matching rank count was loaded;
+  /// rejected candidates leave E5005 warnings behind.
+  bool load();
+
+  [[nodiscard]] bool resumed() const { return resumed_; }
+  [[nodiscard]] uint64_t resume_statement() const {
+    return loaded_ ? loaded_->meta.statement : 0;
+  }
+  [[nodiscard]] uint32_t interval() const { return opts_.interval; }
+  [[nodiscard]] const std::vector<std::byte>* rank_state(int rank) const;
+  [[nodiscard]] const std::string& output_prefix() const;
+
+  /// Collective commit of the boundary before `statement`: each rank
+  /// deposits its serialized state; after a barrier rank 0 writes the
+  /// generation file + manifest; a second barrier releases the ranks. A
+  /// failed write degrades to an E5005 warning — the run continues.
+  void commit(mpi::Comm& comm, uint64_t statement,
+              std::vector<std::byte> state);
+
+  [[nodiscard]] uint64_t generations_written() const { return written_; }
+  std::vector<std::string> take_warnings();
+
+ private:
+  CheckpointOptions opts_;
+  int nranks_;
+  std::function<std::string()> capture_output_;
+  std::optional<snap::LoadedCheckpoint> loaded_;
+  bool resumed_ = false;
+  uint64_t next_generation_ = 1;
+  uint64_t written_ = 0;
+  std::mutex mu_;
+  std::vector<std::vector<std::byte>> deposits_;
+  std::vector<std::string> warnings_;
+};
+
+}  // namespace otter::driver

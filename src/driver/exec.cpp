@@ -1,5 +1,6 @@
 #include "driver/exec.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <ostream>
@@ -43,7 +44,10 @@ class Executor {
     try {
       Frame frame;
       declare(frame, prog_.script_vars);
-      exec_body(prog_.script, frame);
+      size_t start = 0;
+      CheckpointCoordinator* co = opts_.checkpoint;
+      if (co != nullptr && co->resumed()) start = restore_state(frame, *co);
+      exec_script(prog_.script, frame, start);
     } catch (const rt::RtError& e) {
       // Attach the failing statement + source location; the rank is
       // attributed by run_spmd's per-rank aggregation, so repeating it here
@@ -229,6 +233,93 @@ class Executor {
       if (flow != Flow::Normal) return flow;
     }
     return Flow::Normal;
+  }
+
+  /// Top-level script walk with checkpoint boundaries. Statement index i is
+  /// the program counter a checkpoint records: every rank runs the same
+  /// top-level sequence, so "about to execute statement k" names one global
+  /// quiescent cut. Boundaries inside loops/functions are never candidates
+  /// (a nested frame would be live), which keeps captured state exactly one
+  /// Frame + the RNG cursor + comm counters.
+  void exec_script(const std::vector<lower::LInstrPtr>& body, Frame& f,
+                   size_t start) {
+    CheckpointCoordinator* co = opts_.checkpoint;
+    uint32_t interval = co != nullptr ? co->interval() : 0;
+    for (size_t i = start; i < body.size(); ++i) {
+      if (exec_instr(*body[i], f) != Flow::Normal) return;
+      size_t next = i + 1;
+      if (interval > 0 && next < body.size() && next % interval == 0) {
+        co->commit(comm_, next, capture_state(f));
+      }
+    }
+  }
+
+  // -- checkpoint capture/restore ---------------------------------------------
+
+  /// Serializes this rank's complete resume state. Map entries are emitted
+  /// in sorted name order so the byte stream is canonical (the hash-map
+  /// iteration order is not part of the program state).
+  std::vector<std::byte> capture_state(Frame& f) {
+    snap::Writer w;
+    w.u32(static_cast<uint32_t>(comm_.rank()));
+    w.u64(rand_seq_);
+    w.u64(comm_.ops());
+    w.f64(comm_.vtime());
+    std::vector<std::string> names;
+    names.reserve(f.scalars.size());
+    for (const auto& [name, v] : f.scalars) names.push_back(name);
+    std::sort(names.begin(), names.end());
+    w.u64(names.size());
+    for (const std::string& name : names) {
+      w.str(name);
+      w.f64(f.scalars[name]);
+    }
+    names.clear();
+    for (const auto& [name, m] : f.mats) names.push_back(name);
+    std::sort(names.begin(), names.end());
+    w.u64(names.size());
+    for (const std::string& name : names) {
+      w.str(name);
+      f.mats[name].save_snapshot(w);
+    }
+    return w.take();
+  }
+
+  /// Rebuilds the frame, RNG cursor, and comm counters from this rank's
+  /// checkpoint blob; returns the statement index to resume at. The file
+  /// passed CRC validation before the ranks spawned, so failures here mean
+  /// a blob/rank mismatch — surfaced as a coded E5005 runtime error.
+  size_t restore_state(Frame& frame, const CheckpointCoordinator& co) {
+    try {
+      const std::vector<std::byte>* blob = co.rank_state(comm_.rank());
+      if (blob == nullptr)
+        throw snap::SnapshotError("checkpoint has no state for this rank");
+      snap::Reader r(*blob);
+      uint32_t rank = r.u32();
+      if (rank != static_cast<uint32_t>(comm_.rank()))
+        throw snap::SnapshotError("checkpoint blob belongs to another rank");
+      rand_seq_ = r.u64();
+      uint64_t ops = r.u64();
+      double vtime = r.f64();
+      // Continue the original run's op numbering and clock: op-indexed
+      // fault schedules and vtime accounting stay aligned across resume.
+      comm_.restore_stats(vtime, ops);
+      uint64_t nscalars = r.u64();
+      for (uint64_t i = 0; i < nscalars; ++i) {
+        std::string name = r.str();
+        frame.scalars[name] = r.f64();
+      }
+      uint64_t nmats = r.u64();
+      for (uint64_t i = 0; i < nmats; ++i) {
+        std::string name = r.str();
+        frame.mats.insert_or_assign(name,
+                                    DMat::load_snapshot(r, comm_.rank()));
+      }
+      return co.resume_statement();
+    } catch (const snap::SnapshotError& e) {
+      throw rt::RtError(std::string("checkpoint restore failed: ") + e.what(),
+                        {}, "E5005");
+    }
   }
 
   [[nodiscard]] std::string statement_context() const {

@@ -6,6 +6,7 @@
 
 #include <iosfwd>
 
+#include "driver/checkpoint.hpp"
 #include "lower/lir.hpp"
 #include "minimpi/comm.hpp"
 
@@ -21,6 +22,14 @@ struct ExecOptions {
   /// Failure handling + fault injection for the surrounding SPMD run
   /// (consumed by run_parallel / the cc runner, not per-rank execution).
   mpi::SpmdOptions spmd;
+  /// Checkpoint/restart policy; consumed by run_parallel, which creates the
+  /// shared coordinator below when enabled.
+  CheckpointOptions ckpt;
+  /// Shared checkpoint rendezvous for the current run. Set internally by
+  /// run_parallel — per-rank execution deposits snapshots through it and
+  /// restores its frame from it on resume. Leave null when calling
+  /// execute_lir directly.
+  CheckpointCoordinator* checkpoint = nullptr;
 };
 
 /// Runs the lowered program as this rank's part of the SPMD computation.

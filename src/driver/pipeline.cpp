@@ -72,10 +72,31 @@ ParallelRun run_parallel(const lower::LProgram& lir,
                          const ExecOptions& opts) {
   ParallelRun result;
   std::ostringstream out;
+  ExecOptions eopts = opts;
+  std::unique_ptr<CheckpointCoordinator> co;
+  if (opts.ckpt.enabled()) {
+    co = std::make_unique<CheckpointCoordinator>(
+        opts.ckpt, nranks, [&out] { return out.str(); });
+    if (opts.ckpt.resume && co->load()) {
+      // Statements before the checkpoint will not re-execute; their output
+      // already happened. Seeding the stream with the captured prefix is
+      // what makes a resumed run's output bitwise-identical to a fault-free
+      // one.
+      out << co->output_prefix();
+      result.resumed = true;
+      result.resumed_statement = co->resume_statement();
+    }
+    eopts.checkpoint = co.get();
+  }
   result.times = mpi::run_spmd(
       profile, nranks,
-      [&](mpi::Comm& comm) { execute_lir(lir, comm, out, opts); }, opts.spmd);
+      [&](mpi::Comm& comm) { execute_lir(lir, comm, out, eopts); }, opts.spmd);
   result.output = out.str();
+  if (co) {
+    result.checkpoints_written = co->generations_written();
+    for (std::string& w : co->take_warnings())
+      result.warnings.push_back(std::move(w));
+  }
   return result;
 }
 
@@ -93,11 +114,27 @@ double retry_backoff_for(const RetryOptions& retry, int attempt) {
   return base;
 }
 
+bool failure_is_retryable(const mpi::SpmdFailure& e,
+                          const mpi::SpmdOptions& opts) {
+  // A session whose deadline passed (or whose cancel flag is raised) kills
+  // every subsequent attempt the same way, wherever the abort surfaced.
+  if (opts.expired()) return false;
+  const mpi::RankFailure& p = e.first();
+  if (!p.primary) return true;  // pure sympathy teardown: timing-dependent
+  // Deadline/cancel and shape guards recur no matter what changed.
+  if (p.code == "E5003" || p.code == "E5004") return false;
+  // Without fault injection the scheduler is deterministic: any coded
+  // runtime failure will reproduce bit-for-bit on the next attempt.
+  if (!p.code.empty() && !opts.fault.enabled()) return false;
+  return true;
+}
+
 RetryRun run_with_retries(const lower::LProgram& lir,
                           const mpi::MachineProfile& profile, int nranks,
                           const ExecOptions& opts, const RetryOptions& retry) {
   RetryRun result;
   uint64_t base_seed = opts.spmd.fault.seed;
+  bool crash_fired = false;
   for (int attempt = 1; attempt <= std::max(1, retry.max_attempts); ++attempt) {
     result.attempts = attempt;
     ExecOptions eopts = opts;
@@ -107,6 +144,14 @@ RetryRun run_with_retries(const lower::LProgram& lir,
       // failures) still fire and keep the run failing.
       eopts.spmd.fault.seed = base_seed + static_cast<uint64_t>(attempt - 1);
     }
+    if (attempt > 1 && opts.ckpt.enabled()) {
+      // Resume from the newest valid checkpoint instead of recomputing.
+      eopts.ckpt.resume = true;
+      // An injected crash that already fired models a one-shot node
+      // failure: the restarted run gets fresh hardware. Leaving it armed
+      // would re-kill every resume at the same op and never converge.
+      if (crash_fired) eopts.spmd.fault.crash_rank = -1;
+    }
     try {
       result.run = run_parallel(lir, profile, nranks, eopts);
       result.ok = true;
@@ -115,7 +160,15 @@ RetryRun run_with_retries(const lower::LProgram& lir,
       for (double& t : result.run.times.vtimes) t += result.backoff_vtime;
       return result;
     } catch (const mpi::SpmdFailure& e) {
-      result.failures.push_back({attempt, e.what()});
+      result.failures.push_back({attempt, e.what(), e.first().code});
+      if (e.first().primary &&
+          e.first().what.find("fault injection:") != std::string::npos) {
+        crash_fired = true;
+      }
+      if (!failure_is_retryable(e, opts.spmd)) {
+        result.non_retryable = true;
+        break;
+      }
       result.backoff_vtime += retry_backoff_for(retry, attempt);
     }
   }

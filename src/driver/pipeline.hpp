@@ -61,6 +61,11 @@ sema::MFileLoader dir_loader(const std::string& dir);
 struct ParallelRun {
   std::string output;         // rank-0 program output
   mpi::RunResult times;       // per-rank virtual times
+  // Checkpoint/restart observability (all zero when ckpt is disabled):
+  bool resumed = false;             // state was restored from a checkpoint
+  uint64_t resumed_statement = 0;   // first statement executed after resume
+  uint64_t checkpoints_written = 0; // generations committed by this run
+  std::vector<std::string> warnings;  // E5005 recovery-ladder warnings
 };
 
 /// Runs compiled LIR on `nranks` ranks of `profile` via the direct executor.
@@ -104,6 +109,7 @@ double retry_backoff_for(const RetryOptions& retry, int attempt);
 struct AttemptFailure {
   int attempt = 0;      // 1-based
   std::string what;     // the SpmdFailure report
+  std::string code;     // primary failure's diag code when it carried one
 };
 
 struct RetryRun {
@@ -112,12 +118,28 @@ struct RetryRun {
   int attempts = 0;     // attempts consumed (successful one included)
   double backoff_vtime = 0.0;  // total virtual backoff charged
   std::vector<AttemptFailure> failures;  // one entry per failed attempt
+  /// True when the loop stopped early because the failure was classified
+  /// deterministic (same inputs, same result — a retry cannot help).
+  bool non_retryable = false;
 };
+
+/// Deterministic-failure classifier for the retry loop. An expired session
+/// (deadline passed / cancel raised) is never retried. A primary failure
+/// that carries a stable code from a run *without* fault injection will
+/// recur identically on every attempt (the scheduler is deterministic), as
+/// will E5003 shape guards and E5004 deadline/cancel regardless of faults;
+/// uncoded failures (injected crashes, watchdog, deadlock) stay retryable.
+bool failure_is_retryable(const mpi::SpmdFailure& e,
+                          const mpi::SpmdOptions& opts);
 
 /// Runs the program like run_parallel but re-runs failed executions with
 /// exponential backoff in virtual time, reporting per-attempt statistics.
 /// Never throws SpmdFailure: exhausted retries return ok == false with the
-/// failure log filled in.
+/// failure log filled in. Non-retryable failures (see failure_is_retryable)
+/// short-circuit the loop. When `opts.ckpt` is enabled, retry attempts
+/// resume from the newest valid checkpoint instead of recomputing, and an
+/// injected crash that already fired is cleared (a restart models fresh
+/// hardware — the "node" that crashed does not crash again).
 RetryRun run_with_retries(const lower::LProgram& lir,
                           const mpi::MachineProfile& profile, int nranks,
                           const ExecOptions& opts = {},

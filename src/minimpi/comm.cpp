@@ -701,6 +701,8 @@ RunResult run_spmd(const MachineProfile& profile, int nranks,
       std::rethrow_exception(errors[slot]);
     } catch (const std::exception& e) {
       f.what = e.what();
+      if (const auto* coded = dynamic_cast<const CodedError*>(&e))
+        f.code = coded->diag_code();
     } catch (...) {
       f.what = "unknown error";
     }

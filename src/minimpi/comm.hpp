@@ -39,24 +39,11 @@
 #include <stdexcept>
 #include <vector>
 
+#include "minimpi/error.hpp"
 #include "minimpi/fault.hpp"
 #include "minimpi/profile.hpp"
 
 namespace otter::mpi {
-
-class MpiError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
-
-/// Thrown by communication calls on a poisoned network: some *other* rank
-/// failed (or the watchdog fired) and this rank is being torn down in
-/// sympathy. run_spmd uses the distinction to separate primary failures
-/// from secondary aborts.
-class AbortedError : public MpiError {
- public:
-  using MpiError::MpiError;
-};
 
 /// Per-run execution policy: failure handling and fault injection.
 struct SpmdOptions {
@@ -104,6 +91,10 @@ struct SpmdOptions {
 struct RankFailure {
   int rank = -1;
   std::string what;
+  /// Stable diagnostic code when the rank's exception carried one via
+  /// CodedError (e.g. "E5003" shape guard, "E5004" deadline); empty for
+  /// uncoded failures (watchdog, deadlock, injected faults).
+  std::string code;
   /// True when this rank failed on its own; false when it was torn down by
   /// the network abort triggered by another rank's failure (AbortedError).
   bool primary = false;
@@ -232,6 +223,14 @@ class Comm {
 
   /// Communication ops (p2p sends + receives) completed so far.
   [[nodiscard]] uint64_t ops() const { return ops_; }
+
+  /// Restores the virtual clock and op counter from a checkpoint so a
+  /// resumed run continues the original run's comm-op numbering (keeping
+  /// op-indexed fault schedules and vtime accounting aligned).
+  void restore_stats(double vtime, uint64_t ops) {
+    vtime_ = vtime;
+    ops_ = ops;
+  }
 
   // -- point-to-point ----------------------------------------------------------
 

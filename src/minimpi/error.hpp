@@ -1,0 +1,36 @@
+// Error hierarchy for minimpi, split out of comm.hpp so headers lower in
+// the include graph (fault.hpp) can define coded exceptions without a
+// circular dependency.
+#pragma once
+
+#include <stdexcept>
+
+namespace otter::mpi {
+
+class MpiError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown by communication calls on a poisoned network: some *other* rank
+/// failed (or the watchdog fired) and this rank is being torn down in
+/// sympathy. run_spmd uses the distinction to separate primary failures
+/// from secondary aborts.
+class AbortedError : public MpiError {
+ public:
+  using MpiError::MpiError;
+};
+
+/// Mixin for exceptions that carry a stable Exxxx diagnostic code.
+/// run_spmd uses it to tag RankFailure.code across library layers: rtlib's
+/// RtError implements it without minimpi ever depending on rtlib, and the
+/// retry policy in the driver classifies failures by code alone.
+class CodedError {
+ public:
+  [[nodiscard]] virtual const char* diag_code() const noexcept = 0;
+
+ protected:
+  ~CodedError() = default;
+};
+
+}  // namespace otter::mpi

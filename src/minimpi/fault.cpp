@@ -10,7 +10,18 @@ namespace otter::mpi {
 namespace {
 
 [[noreturn]] void bad_spec(const std::string& spec, const std::string& why) {
-  throw MpiError("fault plan '" + spec + "': " + why);
+  throw FaultPlanError("malformed fault plan '" + spec + "': " + why);
+}
+
+uint64_t parse_u64(const std::string& spec, const std::string& key,
+                   const std::string& value) {
+  char* end = nullptr;
+  uint64_t v = std::strtoull(value.c_str(), &end, 10);
+  if (value.empty() || end == value.c_str() || *end != '\0' ||
+      value[0] == '-') {
+    bad_spec(spec, key + " needs an unsigned integer, got '" + value + "'");
+  }
+  return v;
 }
 
 double parse_prob(const std::string& spec, const std::string& key,
@@ -38,7 +49,7 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
     std::string key = item.substr(0, eq);
     std::string value = item.substr(eq + 1);
     if (key == "seed") {
-      plan.seed = std::strtoull(value.c_str(), nullptr, 10);
+      plan.seed = parse_u64(spec, key, value);
     } else if (key == "drop") {
       plan.drop_prob = parse_prob(spec, key, value);
     } else if (key == "dup") {

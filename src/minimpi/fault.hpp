@@ -10,7 +10,20 @@
 #include <cstdint>
 #include <string>
 
+#include "minimpi/error.hpp"
+
 namespace otter::mpi {
+
+/// Malformed --fault-plan / fault_plan spec, rejected eagerly at parse time
+/// with the stable code E0013 so tools can fail fast with a usage error
+/// instead of surfacing an opaque internal failure mid-run.
+class FaultPlanError : public MpiError, public CodedError {
+ public:
+  explicit FaultPlanError(const std::string& msg) : MpiError(msg) {}
+  [[nodiscard]] const char* diag_code() const noexcept override {
+    return "E0013";
+  }
+};
 
 /// Scripted failures for one SPMD run. Probabilities apply per message at
 /// the sender; the crash trigger applies at a rank's k-th communication op
@@ -35,7 +48,9 @@ struct FaultPlan {
 
   /// Parses a comma-separated spec, e.g.
   ///   "seed=42,drop=0.1,dup=0.05,corrupt=0.01,delay=0.2,delay-secs=0.005,crash=2@7"
-  /// Unknown keys or malformed values throw MpiError.
+  /// Validation is eager and strict: unknown keys, malformed numbers (a
+  /// non-numeric seed, trailing garbage in crash=RANK@OP), and out-of-range
+  /// probabilities all throw FaultPlanError (E0013) at parse time.
   static FaultPlan parse(const std::string& spec);
 
   /// Human-readable one-line summary (inverse of parse, modulo defaults).

@@ -32,6 +32,38 @@ DMat::DMat(mpi::Comm& comm, size_t rows, size_t cols, Dist dist)
   }
 }
 
+void DMat::save_snapshot(snap::Writer& w) const {
+  w.u64(rows_);
+  w.u64(cols_);
+  w.u64(layout_.total());
+  w.u32(static_cast<uint32_t>(layout_.nranks()));
+  w.u8(static_cast<uint8_t>(layout_.dist()));
+  w.u64(local_.size());
+  for (double v : local_) w.f64(v);
+}
+
+DMat DMat::load_snapshot(snap::Reader& r, int rank) {
+  DMat m;
+  m.rows_ = r.u64();
+  m.cols_ = r.u64();
+  size_t n = r.u64();
+  int p = static_cast<int>(r.u32());
+  auto dist_raw = r.u8();
+  if (dist_raw > static_cast<uint8_t>(Dist::Cyclic) || p < 1)
+    throw snap::SnapshotError("corrupt checkpoint: bad matrix layout");
+  m.rank_ = rank;
+  m.layout_ = Layout(n, p, static_cast<Dist>(dist_raw));
+  size_t count = r.u64();
+  size_t expect = m.is_vector() ? m.layout_.count(rank)
+                                : m.layout_.count(rank) * m.cols_;
+  if (rank >= p || count != expect)
+    throw snap::SnapshotError(
+        "corrupt checkpoint: matrix payload disagrees with its layout");
+  m.local_.resize(count);
+  for (double& v : m.local_) v = r.f64();
+  return m;
+}
+
 size_t DMat::local_to_global_row(size_t i) const {
   if (is_vector()) {
     size_t g = layout_.to_global(rank_, i);

@@ -21,6 +21,7 @@
 
 #include "minimpi/comm.hpp"
 #include "rtlib/layout.hpp"
+#include "support/snapshot.hpp"
 #include "support/source.hpp"
 
 namespace otter::rt {
@@ -29,11 +30,15 @@ namespace otter::rt {
 /// Carries an optional source location (attached by the LIR executor from
 /// the failing statement) and a stable E5xxx diagnostic code, mirroring the
 /// structured compile-time diagnostics.
-class RtError : public std::runtime_error {
+class RtError : public std::runtime_error, public mpi::CodedError {
  public:
   explicit RtError(const std::string& msg, SourceLoc where = {},
                    std::string diag_code = "E5001")
       : std::runtime_error(msg), loc(where), code(std::move(diag_code)) {}
+
+  [[nodiscard]] const char* diag_code() const noexcept override {
+    return code.c_str();
+  }
 
   SourceLoc loc;     // statement location when known ({} otherwise)
   std::string code;  // e.g. "E5001" generic, "E5003" shape guard
@@ -80,6 +85,19 @@ class DMat {
   [[nodiscard]] bool aligned_with(const DMat& o) const {
     return rows_ == o.rows_ && cols_ == o.cols_ && layout_ == o.layout_;
   }
+
+  // -- checkpointing ----------------------------------------------------------
+  // The local payload is serialized through bit-preserved doubles, so a
+  // restored object is bitwise-identical to the captured one — the basis of
+  // the differential recovery invariant (resumed run == fault-free run).
+
+  /// Serializes this rank's handle (shape, layout, local payload).
+  void save_snapshot(snap::Writer& w) const;
+
+  /// Rebuilds a rank's handle from a snapshot. Validates that the stored
+  /// local payload matches the layout's expectation for `rank`; throws
+  /// snap::SnapshotError on disagreement (corrupt or mismatched blob).
+  static DMat load_snapshot(snap::Reader& r, int rank);
 
  private:
   size_t rows_ = 0;

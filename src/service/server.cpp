@@ -1,12 +1,14 @@
 #include "service/server.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <exception>
 
 #include "driver/pipeline.hpp"
 #include "minimpi/fault.hpp"
 #include "service/hash.hpp"
 #include "support/diag.hpp"
+#include "support/snapshot.hpp"
 
 namespace otter::service {
 
@@ -210,11 +212,47 @@ json::JValue Service::handle_script(
   if (!fault_spec.empty()) {
     try {
       fault = mpi::FaultPlan::parse(fault_spec);
+    } catch (const mpi::FaultPlanError& e) {
+      return error_response(&req, "bad_request", "E0013", e.what());
     } catch (const std::exception& e) {
       return error_response(&req, "bad_request", "E0011",
                             std::string("malformed service request: ") +
                                 e.what());
     }
+  }
+
+  // ---- checkpoint/resume request fields -------------------------------
+  // The client names a directory *under* the server's checkpoint root; a
+  // bare [A-Za-z0-9._-] name (no separators, no dot-dot) keeps requests
+  // from escaping it.
+  const std::string ckpt_name = req.get_string("checkpoint_dir", "");
+  const int ckpt_interval = static_cast<int>(req.get_number("checkpoint", 16));
+  const bool ckpt_resume = req.get_bool("resume", false);
+  std::string ckpt_dir;
+  if (!ckpt_name.empty() || ckpt_resume) {
+    if (cfg_.checkpoint_root.empty()) {
+      return error_response(&req, "bad_request", "E0012",
+                            "request exceeds the service admission limits: "
+                            "checkpointing is disabled on this server "
+                            "(start otterd with --checkpoint-root)");
+    }
+    const bool clean_name =
+        !ckpt_name.empty() && ckpt_name.size() <= 64 && ckpt_name != "." &&
+        ckpt_name != ".." &&
+        std::all_of(ckpt_name.begin(), ckpt_name.end(), [](unsigned char c) {
+          return std::isalnum(c) != 0 || c == '.' || c == '_' || c == '-';
+        });
+    if (!clean_name) {
+      return error_response(&req, "bad_request", "E0011",
+                            "malformed service request: \"checkpoint_dir\" "
+                            "must be a bare [A-Za-z0-9._-] name");
+    }
+    if (ckpt_interval < 1 || ckpt_interval > 1000000) {
+      return error_response(&req, "bad_request", "E0011",
+                            "malformed service request: \"checkpoint\" "
+                            "interval must be in 1..1000000 statements");
+    }
+    ckpt_dir = cfg_.checkpoint_root + "/" + ckpt_name;
   }
 
   // Quarantine check before any compile/run work is spent on the script.
@@ -312,6 +350,11 @@ json::JValue Service::handle_script(
   eo.spmd.fault = fault;
   eo.spmd.run_deadline = deadline;
   eo.spmd.cancel = &shutdown_;
+  if (!ckpt_dir.empty()) {
+    eo.ckpt.interval = static_cast<uint32_t>(ckpt_interval);
+    eo.ckpt.dir = ckpt_dir;
+    eo.ckpt.resume = ckpt_resume;
+  }
   try {
     driver::ParallelRun run = driver::run_parallel(
         art->compiled->lir, mpi::profile_by_name(machine), np, eo);
@@ -321,10 +364,28 @@ json::JValue Service::handle_script(
     resp.set("output", run.output);
     resp.set("max_vtime", run.times.max_vtime());
     resp.set("comm_ops", run.times.total_ops());
+    if (!ckpt_dir.empty()) {
+      json::JValue ck{json::JObject{}};
+      ck.set("written", run.checkpoints_written);
+      ck.set("resumed", run.resumed);
+      ck.set("resumed_statement", run.resumed_statement);
+      resp.set("checkpoint", std::move(ck));
+      if (!run.warnings.empty()) {
+        json::JArray ws;
+        for (const std::string& w : run.warnings) ws.push_back(json::JValue(w));
+        resp.set("warnings", json::JValue(std::move(ws)));
+      }
+      snap::prune_checkpoints(ckpt_dir, cfg_.checkpoint_bytes);
+    }
     attach_stats(resp);
     return resp;
   } catch (const mpi::SpmdFailure& f) {
     breaker_.record_failure(hash);
+    // Keep the retention budget honest even for failed runs — the crash may
+    // well have happened *after* several generations were committed (that
+    // is the point), and the next resume must find them pruned, not grown.
+    if (!ckpt_dir.empty())
+      snap::prune_checkpoints(ckpt_dir, cfg_.checkpoint_bytes);
     json::JValue fr{json::JObject{}};
     if (looks_like_deadline(f)) {
       deadline_expired_.fetch_add(1);

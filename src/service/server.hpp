@@ -47,6 +47,13 @@ struct ServiceConfig {
   size_t max_script_bytes = 256 * 1024;  ///< oversized scripts → E0012
   size_t max_request_bytes = 1ull << 20; ///< oversized request lines → E0012
   bool allow_fault_plans = true;     ///< accept "fault_plan" (tests/smoke)
+  /// Root under which per-request checkpoint directories live. Empty
+  /// disables "checkpoint_dir"/"resume" request fields (E0012), which is
+  /// the daemon default until --checkpoint-root is given.
+  std::string checkpoint_root;
+  /// Per-directory retention budget (bytes) enforced after every
+  /// checkpointed run; the newest two generations always survive.
+  uint64_t checkpoint_bytes = 16ull << 20;
   CircuitBreaker::Options breaker;
   CompileBudget budget;              ///< per-request compile budget
 };

@@ -31,6 +31,7 @@ const std::vector<DiagCodeInfo> kRegistry = {
   {"E0010", "E00", kService, "script quarantined after repeated crashes (circuit breaker open)"},
   {"E0011", "E00", kService, "malformed service request"},
   {"E0012", "E00", kService, "request exceeds the service admission limits"},
+  {"E0013", "E00", kService, "malformed fault-injection plan"},
 
   {"E1101", "E11", kLexer,   "unexpected character"},
   {"E1102", "E11", kLexer,   "unterminated string literal"},
@@ -111,6 +112,7 @@ const std::vector<DiagCodeInfo> kRegistry = {
   {"E5002", "E50", kRuntime, "interpreter run-time error"},
   {"E5003", "E50", kRuntime, "shape guard failed (degraded inference assumption wrong)"},
   {"E5004", "E50", kRuntime, "execution cancelled or request deadline exceeded"},
+  {"E5005", "E50", kRuntime, "torn or corrupt checkpoint detected (recovered from an older generation when possible)"},
 
   {"E6001", "E60", kVerify,  "reference to an undeclared variable"},
   {"E6002", "E60", kVerify,  "compiler temporary used before definition"},

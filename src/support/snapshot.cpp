@@ -1,0 +1,417 @@
+#include "support/snapshot.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+namespace otter::snap {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// File layout:
+//   8-byte magic "OTRSNAP\x01"
+//   sections until EOF: u32 tag | u64 payload_len | payload | u32 crc(payload)
+// Required section order: HEADER, RANK x nranks (ascending), OUTPUT, END.
+constexpr std::array<char, 8> kMagic = {'O', 'T', 'R', 'S',
+                                        'N', 'A', 'P', '\x01'};
+constexpr uint32_t kSecHeader = 0x48445221;  // "HDR!"
+constexpr uint32_t kSecRank = 0x524e4b21;    // "RNK!"
+constexpr uint32_t kSecOutput = 0x4f555421;  // "OUT!"
+constexpr uint32_t kSecEnd = 0x454e4421;     // "END!"
+
+// Hard cap on any single section payload; a corrupt length field must not
+// trigger a multi-gigabyte allocation before the CRC gets a chance to veto.
+constexpr uint64_t kMaxSection = 1ull << 32;
+
+[[noreturn]] void bad(const std::string& what, const std::string& path) {
+  throw SnapshotError("corrupt checkpoint: " + what +
+                      (path.empty() ? "" : " in '" + path + "'"));
+}
+
+struct CrcTable {
+  std::array<uint32_t, 256> t{};
+  CrcTable() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+  }
+};
+
+const CrcTable& crc_table() {
+  static const CrcTable table;
+  return table;
+}
+
+void append_u32(std::vector<std::byte>& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+}
+
+void append_u64(std::vector<std::byte>& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+}
+
+void append_section(std::vector<std::byte>& out, uint32_t tag,
+                    const std::vector<std::byte>& payload) {
+  append_u32(out, tag);
+  append_u64(out, payload.size());
+  out.insert(out.end(), payload.begin(), payload.end());
+  append_u32(out, crc32(payload.data(), payload.size()));
+}
+
+std::string gen_filename(uint64_t generation) {
+  return "gen-" + std::to_string(generation) + ".ckpt";
+}
+
+/// Parses "gen-<N>.ckpt" -> N; nullopt for anything else.
+std::optional<uint64_t> parse_gen(const std::string& name) {
+  if (name.size() < 10 || name.rfind("gen-", 0) != 0 ||
+      name.substr(name.size() - 5) != ".ckpt")
+    return std::nullopt;
+  uint64_t n = 0;
+  std::string digits = name.substr(4, name.size() - 9);
+  if (digits.empty()) return std::nullopt;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    n = n * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return n;
+}
+
+/// Writes `data` to `path` via tmp + atomic rename. Throws on I/O failure.
+void write_atomic(const fs::path& path, const std::vector<std::byte>& data) {
+  fs::path tmp = path;
+  tmp += ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) throw SnapshotError("cannot open '" + tmp.string() + "' for write");
+    f.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+    f.flush();
+    if (!f)
+      throw SnapshotError("short write to checkpoint '" + tmp.string() + "'");
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec)
+    throw SnapshotError("cannot rename checkpoint into place: '" +
+                        path.string() + "': " + ec.message());
+}
+
+std::optional<std::vector<std::byte>> read_all(const fs::path& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) return std::nullopt;
+  auto n = static_cast<size_t>(f.tellg());
+  std::vector<std::byte> buf(n);
+  f.seekg(0);
+  f.read(reinterpret_cast<char*>(buf.data()), static_cast<std::streamsize>(n));
+  if (!f) return std::nullopt;
+  return buf;
+}
+
+/// Reads the MANIFEST; returns the checkpoint filename it points at, or
+/// nullopt when absent/corrupt. Format: "otter-checkpoint v1\n", a
+/// "file=<name>\n" line, and a trailing "crc=<hex of the lines above>\n".
+std::optional<std::string> read_manifest(const fs::path& dir) {
+  auto data = read_all(dir / "MANIFEST");
+  if (!data) return std::nullopt;
+  std::string text(reinterpret_cast<const char*>(data->data()), data->size());
+  auto crc_at = text.rfind("crc=");
+  if (crc_at == std::string::npos || crc_at == 0) return std::nullopt;
+  uint32_t want = 0;
+  if (std::sscanf(text.c_str() + crc_at, "crc=%x", &want) != 1)
+    return std::nullopt;
+  if (crc32(text.data(), crc_at) != want) return std::nullopt;
+  auto file_at = text.find("file=");
+  if (file_at == std::string::npos) return std::nullopt;
+  auto nl = text.find('\n', file_at);
+  if (nl == std::string::npos || nl <= file_at + 5) return std::nullopt;
+  std::string name = text.substr(file_at + 5, nl - file_at - 5);
+  if (name.find('/') != std::string::npos) return std::nullopt;
+  return name;
+}
+
+void write_manifest(const fs::path& dir, uint64_t generation,
+                    const std::string& filename) {
+  std::string text = "otter-checkpoint v1\ngeneration=" +
+                     std::to_string(generation) + "\nfile=" + filename + "\n";
+  text += "crc=" + [&] {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%08x", crc32(text.data(), text.size()));
+    return std::string(buf);
+  }() + "\n";
+  std::vector<std::byte> bytes(text.size());
+  std::memcpy(bytes.data(), text.data(), text.size());
+  write_atomic(dir / "MANIFEST", bytes);
+}
+
+}  // namespace
+
+uint32_t crc32(const void* data, size_t n, uint32_t seed) {
+  const auto& t = crc_table().t;
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) c = t[(c ^ p[i]) & 0xff] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+// -- Writer -------------------------------------------------------------------
+
+void Writer::u8(uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+void Writer::u32(uint32_t v) { append_u32(buf_, v); }
+void Writer::u64(uint64_t v) { append_u64(buf_, v); }
+
+void Writer::f64(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  u64(bits);
+}
+
+void Writer::str(const std::string& s) {
+  u64(s.size());
+  bytes(s.data(), s.size());
+}
+
+void Writer::bytes(const void* data, size_t n) {
+  const auto* p = static_cast<const std::byte*>(data);
+  buf_.insert(buf_.end(), p, p + n);
+}
+
+void Writer::blob(const std::vector<std::byte>& b) {
+  u64(b.size());
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+// -- Reader -------------------------------------------------------------------
+
+void Reader::raw(void* out, size_t n) {
+  if (remaining() < n) bad("truncated section payload", "");
+  std::memcpy(out, data_, n);
+  data_ += n;
+}
+
+uint8_t Reader::u8() {
+  uint8_t v = 0;
+  raw(&v, 1);
+  return v;
+}
+
+uint32_t Reader::u32() {
+  if (remaining() < 4) bad("truncated section payload", "");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<uint32_t>(std::to_integer<uint8_t>(data_[i])) << (8 * i);
+  data_ += 4;
+  return v;
+}
+
+uint64_t Reader::u64() {
+  if (remaining() < 8) bad("truncated section payload", "");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<uint64_t>(std::to_integer<uint8_t>(data_[i])) << (8 * i);
+  data_ += 8;
+  return v;
+}
+
+double Reader::f64() {
+  uint64_t bits = u64();
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::string Reader::str() {
+  uint64_t n = u64();
+  if (n > remaining()) bad("string length exceeds payload", "");
+  std::string s(reinterpret_cast<const char*>(data_), n);
+  data_ += n;
+  return s;
+}
+
+std::vector<std::byte> Reader::blob() {
+  uint64_t n = u64();
+  if (n > remaining()) bad("blob length exceeds payload", "");
+  std::vector<std::byte> b(data_, data_ + n);
+  data_ += n;
+  return b;
+}
+
+// -- checkpoint files ---------------------------------------------------------
+
+std::string write_checkpoint(const std::string& dir, const CheckpointMeta& meta,
+                             const std::vector<std::vector<std::byte>>& ranks,
+                             const std::string& output_prefix) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec)
+    throw SnapshotError("cannot create checkpoint dir '" + dir +
+                        "': " + ec.message());
+
+  std::vector<std::byte> file(kMagic.size());
+  std::memcpy(file.data(), kMagic.data(), kMagic.size());
+
+  Writer header;
+  header.u64(meta.generation);
+  header.u64(meta.statement);
+  header.u32(meta.nranks);
+  header.u32(meta.interval);
+  append_section(file, kSecHeader, header.buffer());
+
+  for (size_t r = 0; r < ranks.size(); ++r) {
+    Writer sec;
+    sec.u32(static_cast<uint32_t>(r));
+    sec.blob(ranks[r]);
+    append_section(file, kSecRank, sec.buffer());
+  }
+
+  Writer out;
+  out.str(output_prefix);
+  append_section(file, kSecOutput, out.buffer());
+  append_section(file, kSecEnd, {});
+
+  std::string name = gen_filename(meta.generation);
+  write_atomic(fs::path(dir) / name, file);
+  write_manifest(dir, meta.generation, name);
+  return (fs::path(dir) / name).string();
+}
+
+LoadedCheckpoint read_checkpoint(const std::string& path) {
+  auto data = read_all(path);
+  if (!data) bad("unreadable file", path);
+  const std::vector<std::byte>& buf = *data;
+  if (buf.size() < kMagic.size() ||
+      std::memcmp(buf.data(), kMagic.data(), kMagic.size()) != 0)
+    bad("bad magic or unsupported version", path);
+
+  LoadedCheckpoint ck;
+  ck.file = path;
+  size_t pos = kMagic.size();
+  bool have_header = false, have_output = false, have_end = false;
+  while (pos < buf.size()) {
+    if (have_end) bad("trailing data after END section", path);
+    Reader frame(buf.data() + pos, buf.size() - pos);
+    uint32_t tag = frame.u32();
+    uint64_t len = frame.u64();
+    if (len > kMaxSection || len + 4 > frame.remaining())
+      bad("truncated section", path);
+    const std::byte* payload = buf.data() + pos + 12;
+    uint32_t want = Reader(payload + len, 4).u32();
+    if (crc32(payload, len) != want) bad("section CRC mismatch", path);
+    Reader body(payload, len);
+    switch (tag) {
+      case kSecHeader:
+        if (have_header) bad("duplicate header", path);
+        have_header = true;
+        ck.meta.generation = body.u64();
+        ck.meta.statement = body.u64();
+        ck.meta.nranks = body.u32();
+        ck.meta.interval = body.u32();
+        if (ck.meta.nranks == 0 || ck.meta.nranks > 4096)
+          bad("implausible rank count", path);
+        break;
+      case kSecRank: {
+        if (!have_header || have_output) bad("rank section out of order", path);
+        uint32_t rank = body.u32();
+        if (rank != ck.rank_state.size()) bad("rank sections not dense", path);
+        ck.rank_state.push_back(body.blob());
+        break;
+      }
+      case kSecOutput:
+        if (!have_header || have_output) bad("output section out of order", path);
+        have_output = true;
+        ck.output_prefix = body.str();
+        break;
+      case kSecEnd:
+        have_end = true;
+        break;
+      default:
+        bad("unknown section tag", path);
+    }
+    pos += 12 + len + 4;
+  }
+  if (!have_header || !have_output || !have_end)
+    bad("incomplete checkpoint (missing section)", path);
+  if (ck.rank_state.size() != ck.meta.nranks)
+    bad("rank section count disagrees with header", path);
+  return ck;
+}
+
+std::optional<LoadedCheckpoint> load_latest(
+    const std::string& dir, std::vector<std::string>* warnings) {
+  auto warn = [&](const std::string& msg) {
+    if (warnings) warnings->push_back("[E5005] " + msg);
+  };
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return std::nullopt;
+
+  std::vector<std::string> tried;
+  if (auto name = read_manifest(dir)) {
+    try {
+      auto ck = read_checkpoint((fs::path(dir) / *name).string());
+      return ck;
+    } catch (const SnapshotError& e) {
+      warn(std::string(e.what()) + "; falling back to older generations");
+      tried.push_back(*name);
+    }
+  } else if (fs::exists(fs::path(dir) / "MANIFEST", ec)) {
+    warn("checkpoint manifest in '" + dir +
+         "' is torn or corrupt; scanning generations");
+  }
+
+  // Scan gen-*.ckpt newest-generation-first.
+  std::vector<std::pair<uint64_t, std::string>> gens;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    auto name = entry.path().filename().string();
+    if (auto g = parse_gen(name)) gens.emplace_back(*g, name);
+  }
+  std::sort(gens.rbegin(), gens.rend());
+  for (const auto& [gen, name] : gens) {
+    if (std::find(tried.begin(), tried.end(), name) != tried.end()) continue;
+    try {
+      return read_checkpoint((fs::path(dir) / name).string());
+    } catch (const SnapshotError& e) {
+      warn(std::string(e.what()) + "; trying previous generation");
+    }
+  }
+  return std::nullopt;
+}
+
+uint64_t prune_checkpoints(const std::string& dir, uint64_t max_bytes,
+                           size_t keep) {
+  if (max_bytes == 0) return 0;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return 0;
+
+  std::vector<std::pair<uint64_t, fs::path>> gens;  // ascending generation
+  uint64_t total = 0;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    auto name = entry.path().filename().string();
+    if (auto g = parse_gen(name)) {
+      gens.emplace_back(*g, entry.path());
+      total += static_cast<uint64_t>(fs::file_size(entry.path(), ec));
+    }
+  }
+  std::sort(gens.begin(), gens.end());
+
+  // Delete oldest-first, but never into the newest `keep` generations.
+  uint64_t freed = 0;
+  for (size_t i = 0; i + keep < gens.size() && total > max_bytes; ++i) {
+    uint64_t sz = static_cast<uint64_t>(fs::file_size(gens[i].second, ec));
+    if (fs::remove(gens[i].second, ec) && !ec) {
+      total -= sz;
+      freed += sz;
+    }
+  }
+  return freed;
+}
+
+}  // namespace otter::snap

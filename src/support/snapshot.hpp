@@ -1,0 +1,133 @@
+// Versioned binary checkpoint format for coordinated SPMD snapshots.
+//
+// A checkpoint *generation* is one file `gen-<N>.ckpt` holding the complete
+// coordinated state of a run at a quiescent statement boundary: a header
+// (generation, statement index, rank count, interval), one opaque per-rank
+// state blob, the rank-0 output prefix, and an END marker proving the writer
+// reached the end. Every section is framed `[tag][len][payload][crc32]`, so
+// a torn or bit-flipped file is detected on load (E5005) rather than
+// resurrected as wrong answers. Files are written to a temp name and renamed
+// into place; a `MANIFEST` file (also written via rename) names the newest
+// complete generation. Recovery ladder on load: manifest target if valid,
+// else every `gen-*.ckpt` newest-first, else nothing — each rejected
+// candidate surfaces an E5005 warning, never a hard failure.
+//
+// This layer is deliberately below minimpi/rtlib: it moves bytes and checks
+// integrity. What goes *into* a rank blob is the driver's business.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace otter::snap {
+
+/// Integrity or format violation in a snapshot file. Carries the stable
+/// runtime code "E5005"; recovery paths downgrade it to a warning and fall
+/// back to the previous generation.
+class SnapshotError : public std::runtime_error {
+ public:
+  explicit SnapshotError(const std::string& msg) : std::runtime_error(msg) {}
+  [[nodiscard]] static const char* diag_code() noexcept { return "E5005"; }
+};
+
+/// CRC-32 (IEEE 802.3, reflected) of `n` bytes, continuing from `seed`.
+uint32_t crc32(const void* data, size_t n, uint32_t seed = 0);
+
+// -- primitive serialization ---------------------------------------------------
+// Little-endian fixed-width primitives; doubles are bit-preserved through
+// uint64, so restored matrix payloads are bitwise-identical to the originals.
+
+/// Append-only byte buffer with typed writers.
+class Writer {
+ public:
+  void u8(uint8_t v);
+  void u32(uint32_t v);
+  void u64(uint64_t v);
+  void f64(double v);
+  void str(const std::string& s);              // u64 length + bytes
+  void bytes(const void* data, size_t n);      // raw append (no length)
+  void blob(const std::vector<std::byte>& b);  // u64 length + bytes
+
+  [[nodiscard]] const std::vector<std::byte>& buffer() const { return buf_; }
+  /// Moves the buffer out; the writer is empty afterwards.
+  [[nodiscard]] std::vector<std::byte> take() { return std::move(buf_); }
+  [[nodiscard]] size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+/// Bounds-checked reader over a byte range; every overrun or malformed
+/// length throws SnapshotError instead of reading garbage.
+class Reader {
+ public:
+  Reader(const std::byte* data, size_t n) : data_(data), end_(data + n) {}
+  explicit Reader(const std::vector<std::byte>& b)
+      : Reader(b.data(), b.size()) {}
+
+  uint8_t u8();
+  uint32_t u32();
+  uint64_t u64();
+  double f64();
+  std::string str();
+  std::vector<std::byte> blob();
+  void raw(void* out, size_t n);
+
+  [[nodiscard]] size_t remaining() const {
+    return static_cast<size_t>(end_ - data_);
+  }
+  [[nodiscard]] bool at_end() const { return data_ == end_; }
+
+ private:
+  const std::byte* data_;
+  const std::byte* end_;
+};
+
+// -- checkpoint files ----------------------------------------------------------
+
+/// Global facts recorded in a checkpoint's HEADER section.
+struct CheckpointMeta {
+  uint64_t generation = 0;  // monotonically increasing per run lineage
+  uint64_t statement = 0;   // next top-level statement index to execute
+  uint32_t nranks = 0;      // rank count the blobs were captured under
+  uint32_t interval = 0;    // checkpoint interval the run was using
+};
+
+/// A fully validated checkpoint loaded back from disk.
+struct LoadedCheckpoint {
+  CheckpointMeta meta;
+  std::vector<std::vector<std::byte>> rank_state;  // one opaque blob per rank
+  std::string output_prefix;  // rank-0 output accumulated before `statement`
+  std::string file;           // path it was loaded from
+};
+
+/// Serializes and durably writes one generation into `dir` (created if
+/// missing): `gen-<N>.ckpt.tmp` -> rename, then the MANIFEST the same way.
+/// Returns the final checkpoint path. Throws SnapshotError on I/O failure.
+std::string write_checkpoint(const std::string& dir, const CheckpointMeta& meta,
+                             const std::vector<std::vector<std::byte>>& ranks,
+                             const std::string& output_prefix);
+
+/// Parses and CRC-validates one checkpoint file. Throws SnapshotError on any
+/// corruption, truncation, or version mismatch.
+LoadedCheckpoint read_checkpoint(const std::string& path);
+
+/// Newest valid checkpoint in `dir`: the manifest target when intact,
+/// otherwise every gen-*.ckpt newest-generation-first. Every rejected
+/// candidate appends an "[E5005] ..." line to `warnings` (when non-null) and
+/// the ladder moves on. Returns nullopt when nothing valid exists (including
+/// a missing directory) — callers start fresh.
+std::optional<LoadedCheckpoint> load_latest(const std::string& dir,
+                                            std::vector<std::string>* warnings);
+
+/// Retention budget: deletes oldest generations until the directory's
+/// checkpoint bytes fit `max_bytes`, always keeping the newest `keep` files.
+/// Returns bytes freed. A `max_bytes` of 0 disables pruning.
+uint64_t prune_checkpoints(const std::string& dir, uint64_t max_bytes,
+                           size_t keep = 2);
+
+}  // namespace otter::snap

@@ -179,6 +179,29 @@ TEST(FaultInjection, PlanParseRoundTrip) {
   EXPECT_THROW(FaultPlan::parse("crash=-1"), MpiError);
 }
 
+TEST(FaultInjection, MalformedPlanIsACodedEagerError) {
+  // Every malformed spec is a FaultPlanError carrying the stable E0013
+  // code, so otterc can reject it before spawning ranks and otterd can
+  // map it to a structured response.
+  for (const char* spec : {"crash=zz", "crash=1@", "crash=1@x", "crash=1@0",
+                           "crash=", "seed=abc", "seed=", "seed=-3",
+                           "drop=nope", "drop=", "=0.5", "crash=1@2@3"}) {
+    try {
+      FaultPlan::parse(spec);
+      FAIL() << "accepted malformed spec: " << spec;
+    } catch (const FaultPlanError& e) {
+      EXPECT_STREQ(e.diag_code(), "E0013") << spec;
+      EXPECT_NE(std::string(e.what()).find("malformed fault plan"),
+                std::string::npos)
+          << spec;
+    }
+  }
+  // Well-formed specs still parse (no over-rejection).
+  EXPECT_NO_THROW(FaultPlan::parse("seed=7,crash=0@1"));
+  EXPECT_NO_THROW(FaultPlan::parse("crash=3"));
+  EXPECT_NO_THROW(FaultPlan::parse(""));
+}
+
 TEST(FaultInjection, DroppedMessageIsDiagnosedDeterministically) {
   auto once = [] {
     try {

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <filesystem>
 #include <mutex>
 #include <thread>
 
@@ -426,4 +427,97 @@ TEST(ServiceProtocol, ShutdownOpRaisesTheFlag)
   EXPECT_EQ(resp.get_string("status", ""), "ok");
   EXPECT_TRUE(svc.shutdown_requested());
   EXPECT_TRUE(svc.cancel_flag()->load());
+}
+
+// ---- checkpoint/resume request fields --------------------------------------
+
+namespace {
+
+/// Scratch checkpoint root removed on scope exit.
+struct ServiceTempDir {
+  std::string path;
+  ServiceTempDir() {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / "otter-svc-ckpt-XXXXXX");
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    path = ::mkdtemp(buf.data());
+  }
+  ~ServiceTempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+}  // namespace
+
+TEST(ServiceProtocol, MalformedFaultPlanIsE0013) {
+  Service svc;  // library default accepts fault plans, but validates them
+  json::JValue resp = parse_ok(svc.process_line(
+      R"({"script":"x = 1;","fault_plan":"crash=zz"})"));
+  EXPECT_EQ(resp.get_string("status", ""), "bad_request");
+  EXPECT_EQ(resp.get_string("code", ""), "E0013");
+  EXPECT_NE(resp.get_string("message", "").find("malformed fault plan"),
+            std::string::npos);
+}
+
+TEST(ServiceProtocol, CheckpointFieldsNeedAConfiguredRoot) {
+  Service svc;  // no checkpoint_root: the daemon default
+  json::JValue resp = parse_ok(svc.process_line(
+      R"({"script":"x = 1;","checkpoint_dir":"job1"})"));
+  EXPECT_EQ(resp.get_string("code", ""), "E0012");
+  json::JValue resume = parse_ok(svc.process_line(
+      R"({"script":"x = 1;","resume":true})"));
+  EXPECT_EQ(resume.get_string("code", ""), "E0012");
+}
+
+TEST(ServiceProtocol, CheckpointDirNameAndIntervalAreValidated) {
+  ServiceTempDir root;
+  ServiceConfig cfg;
+  cfg.checkpoint_root = root.path;
+  Service svc(cfg);
+  for (const char* name : {"../escape", "a/b", "..", ".", "job one", ""}) {
+    json::JValue req{json::JObject{}};
+    req.set("script", "x = 1;");
+    req.set("checkpoint_dir", name);
+    if (std::string(name).empty()) req.set("resume", true);
+    json::JValue resp = parse_ok(svc.process_line(req.dump()));
+    EXPECT_EQ(resp.get_string("code", ""), "E0011") << "name: " << name;
+  }
+  json::JValue req{json::JObject{}};
+  req.set("script", "x = 1;");
+  req.set("checkpoint_dir", "job");
+  req.set("checkpoint", 0);
+  json::JValue resp = parse_ok(svc.process_line(req.dump()));
+  EXPECT_EQ(resp.get_string("code", ""), "E0011");
+}
+
+TEST(ServiceProtocol, CheckpointedRunWritesAndResumesOverTheProtocol) {
+  ServiceTempDir root;
+  ServiceConfig cfg;
+  cfg.checkpoint_root = root.path;
+  Service svc(cfg);
+
+  json::JValue req{json::JObject{}};
+  req.set("script",
+          "a = ones(4, 4);\nb = a + a;\nc = b * 2;\ndisp(sum(sum(c)));\n");
+  req.set("np", 2);
+  req.set("checkpoint_dir", "job1");
+  req.set("checkpoint", 1);
+
+  json::JValue first = parse_ok(svc.process_line(req.dump()));
+  ASSERT_EQ(first.get_string("status", ""), "ok") << first.dump();
+  const json::JValue* ck = first.get("checkpoint");
+  ASSERT_NE(ck, nullptr);
+  EXPECT_GE(ck->get_number("written", 0), 1.0);
+  EXPECT_FALSE(ck->get_bool("resumed", true));
+
+  req.set("resume", true);
+  json::JValue second = parse_ok(svc.process_line(req.dump()));
+  ASSERT_EQ(second.get_string("status", ""), "ok") << second.dump();
+  const json::JValue* ck2 = second.get("checkpoint");
+  ASSERT_NE(ck2, nullptr);
+  EXPECT_TRUE(ck2->get_bool("resumed", false));
+  EXPECT_GT(ck2->get_number("resumed_statement", 0), 0.0);
+  EXPECT_EQ(second.get_string("output", ""), first.get_string("output", ""));
 }

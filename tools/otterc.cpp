@@ -22,6 +22,12 @@
 //                          with capped, jittered virtual-time backoff
 //   --retry-cap=SECS       ceiling on a single retry's backoff (default 30;
 //                          0 = uncapped exponential)
+//   --checkpoint-dir=DIR   enable coordinated checkpointing into DIR
+//   --checkpoint=N         statements between checkpoints (default 16;
+//                          needs --checkpoint-dir)
+//   --resume               restore the newest valid checkpoint in
+//                          --checkpoint-dir before running; with --retries,
+//                          retry attempts resume automatically
 //   --diag-format=text|json  diagnostic rendering (default text)
 //   --max-errors=N         stop after N errors (0 = unlimited, the default)
 //   --strict-infer         unresolvable shapes are compile errors instead of
@@ -98,6 +104,9 @@ struct Options {
   double timeout = 30.0;
   int retries = 0;
   double retry_cap = 30.0;
+  uint32_t checkpoint = 0;      // interval in statements (0 = default 16)
+  std::string checkpoint_dir;   // empty = checkpointing off
+  bool resume = false;
   std::string diag_format = "text";
   size_t max_errors = 0;
   bool strict_infer = false;
@@ -122,6 +131,7 @@ int usage() {
       "              [--no-peephole] [--seed=N] [--times]\n"
       "              [--fault-plan=SPEC] [--timeout=SECS] [--retries=N]\n"
       "              [--retry-cap=SECS]\n"
+      "              [--checkpoint-dir=DIR [--checkpoint=N] [--resume]]\n"
       "              [--diag-format=text|json] [--max-errors=N]\n"
       "              [--strict-infer] [--budget-seconds=SECS]\n"
       "              [--lint] [--Werror] [--no-verify-lir] [--no-dse]\n"
@@ -149,6 +159,11 @@ bool parse_args(int argc, char** argv, Options& o) try {
     else if (auto v = value("--timeout=")) o.timeout = std::stod(*v);
     else if (auto v = value("--retries=")) o.retries = std::stoi(*v);
     else if (auto v = value("--retry-cap=")) o.retry_cap = std::stod(*v);
+    else if (auto v = value("--checkpoint-dir=")) o.checkpoint_dir = *v;
+    else if (auto v = value("--checkpoint=")) {
+      o.checkpoint = static_cast<uint32_t>(std::stoul(*v));
+      if (o.checkpoint == 0) return false;
+    }
     else if (auto v = value("--diag-format=")) o.diag_format = *v;
     else if (auto v = value("--max-errors=")) {
       o.max_errors = static_cast<size_t>(std::stoull(*v));
@@ -168,6 +183,7 @@ bool parse_args(int argc, char** argv, Options& o) try {
     else if (a == "--no-licm") o.licm = false;
     else if (a == "--no-peephole") o.peephole = false;
     else if (a == "--strict-infer") o.strict_infer = true;
+    else if (a == "--resume") o.resume = true;
     else if (a == "--times") o.times = true;
     else if (a == "--lint") o.lint = true;
     else if (a == "--Werror") o.werror = true;
@@ -178,6 +194,9 @@ bool parse_args(int argc, char** argv, Options& o) try {
     else return false;
   }
   if (o.diag_format != "text" && o.diag_format != "json") return false;
+  // --checkpoint / --resume are meaningless without a directory to put the
+  // generations in (or read them back from).
+  if ((o.checkpoint > 0 || o.resume) && o.checkpoint_dir.empty()) return false;
   if (!o.dump_lir.empty() && o.dump_lir != "pre-opt" &&
       o.dump_lir != "post-opt") {
     return false;
@@ -245,6 +264,12 @@ int run_remote(const Options& opt, const std::string& source) {
     req.set("rand_seed", opt.seed);
     if (!opt.fault_plan.empty()) req.set("fault_plan", opt.fault_plan);
     if (opt.deadline > 0) req.set("deadline", opt.deadline);
+    if (!opt.checkpoint_dir.empty()) {
+      req.set("checkpoint_dir", opt.checkpoint_dir);
+      if (opt.checkpoint > 0)
+        req.set("checkpoint", static_cast<double>(opt.checkpoint));
+      if (opt.resume) req.set("resume", true);
+    }
   }
 
   std::string err;
@@ -284,6 +309,21 @@ int run_remote(const Options& opt, const std::string& source) {
     }
   }
   if (status == "ok") {
+    if (const json::JValue* ws = resp->get("warnings")) {
+      for (const json::JValue& w : ws->as_array())
+        std::cerr << "otterc: warning " << w.as_string() << '\n';
+    }
+    if (opt.times) {
+      if (const json::JValue* ck = resp->get("checkpoint")) {
+        std::cerr << "checkpoints written "
+                  << static_cast<long>(ck->get_number("written", 0));
+        if (ck->get_bool("resumed", false)) {
+          std::cerr << ", resumed at statement "
+                    << static_cast<long>(ck->get_number("resumed_statement", 0));
+        }
+        std::cerr << '\n';
+      }
+    }
     std::cout << resp->get_string("output", "");
     return kExitOk;
   }
@@ -311,6 +351,18 @@ int run_remote(const Options& opt, const std::string& source) {
 int main(int argc, char** argv) {
   Options opt;
   if (!parse_args(argc, argv, opt)) return usage();
+
+  // Validate the fault plan eagerly, before any file I/O or network hop: a
+  // typo'd spec is a usage error with the E0013 diagnostic, not an opaque
+  // internal failure halfway through a run (or on the daemon's side).
+  if (!opt.fault_plan.empty()) {
+    try {
+      (void)otter::mpi::FaultPlan::parse(opt.fault_plan);
+    } catch (const otter::mpi::FaultPlanError& e) {
+      std::cerr << "otterc: error [E0013]: " << e.what() << '\n';
+      return kExitUsage;
+    }
+  }
 
   if (!opt.remote_op.empty()) return run_remote(opt, "");
 
@@ -427,8 +479,18 @@ int main(int argc, char** argv) {
       std::cerr << "otterc: fault plan: " << eopts.spmd.fault.describe()
                 << '\n';
     }
+    if (!opt.checkpoint_dir.empty()) {
+      eopts.ckpt.dir = opt.checkpoint_dir;
+      eopts.ckpt.interval = opt.checkpoint > 0 ? opt.checkpoint : 16;
+      eopts.ckpt.resume = opt.resume;
+    }
 
     if (opt.run == "cc") {
+      if (eopts.ckpt.enabled()) {
+        std::cerr << "otterc: note: checkpointing applies to the direct "
+                     "executor; ignored under --run=cc\n";
+        eopts.ckpt = {};
+      }
       std::string error;
       auto program = otter::codegen::CompiledProgram::build(compiled->lir, &error);
       if (!program) {
@@ -460,13 +522,25 @@ int main(int argc, char** argv) {
                   << '\n';
       }
       if (!rr.ok) {
-        std::cerr << "otterc: giving up after " << rr.attempts << " attempts\n";
+        std::cerr << "otterc: giving up after " << rr.attempts << " attempts"
+                  << (rr.non_retryable ? " (failure is deterministic; "
+                                         "retrying cannot help)"
+                                       : "")
+                  << '\n';
         return kExitRuntime;
       }
+      for (const std::string& w : rr.run.warnings)
+        std::cerr << "otterc: warning " << w << '\n';
       std::cout << rr.run.output;
       if (opt.times) {
         std::cerr << "attempts " << rr.attempts << ", virtual backoff "
                   << rr.backoff_vtime << "s\n";
+        if (eopts.ckpt.enabled()) {
+          std::cerr << "checkpoints written " << rr.run.checkpoints_written;
+          if (rr.run.resumed)
+            std::cerr << ", resumed at statement " << rr.run.resumed_statement;
+          std::cerr << '\n';
+        }
         for (size_t r = 0; r < rr.run.times.vtimes.size(); ++r) {
           std::cerr << "rank " << r << " vtime " << rr.run.times.vtimes[r]
                     << "s\n";
@@ -476,8 +550,16 @@ int main(int argc, char** argv) {
     }
 
     auto run = otter::driver::run_parallel(compiled->lir, profile, opt.np, eopts);
+    for (const std::string& w : run.warnings)
+      std::cerr << "otterc: warning " << w << '\n';
     std::cout << run.output;
     if (opt.times) {
+      if (eopts.ckpt.enabled()) {
+        std::cerr << "checkpoints written " << run.checkpoints_written;
+        if (run.resumed)
+          std::cerr << ", resumed at statement " << run.resumed_statement;
+        std::cerr << '\n';
+      }
       for (size_t r = 0; r < run.times.vtimes.size(); ++r) {
         std::cerr << "rank " << r << " vtime " << run.times.vtimes[r] << "s\n";
       }

@@ -22,7 +22,15 @@
 //   --breaker-threshold=N  consecutive crashes that quarantine a script
 //                          (default 3)
 //   --breaker-cooldown=S   quarantine time before a probe (default 30)
-//   --no-fault-plans       reject requests carrying "fault_plan"
+//   --allow-fault-injection  accept requests carrying "fault_plan" (off by
+//                          default: injected faults are a chaos-testing
+//                          tool, not something arbitrary clients get)
+//   --no-fault-plans       reject "fault_plan" (the default; kept for
+//                          compatibility with older scripts)
+//   --checkpoint-root=DIR  enable checkpoint/resume request fields, rooted
+//                          at DIR (off by default → E0012)
+//   --checkpoint-mb=N      per-directory checkpoint retention budget
+//                          (default 16)
 //
 // The daemon exits on SIGINT/SIGTERM or an {"op":"shutdown"} request,
 // draining queued work first. Exit code 0 on clean shutdown, 64 on usage
@@ -65,6 +73,12 @@ struct Options {
   size_t queue = 16;
   size_t cache_mb = 64;
   otter::service::ServiceConfig cfg;
+
+  Options() {
+    // The daemon is stricter than the library default: fault injection is
+    // an explicit opt-in (--allow-fault-injection) on a shared server.
+    cfg.allow_fault_plans = false;
+  }
 };
 
 int usage() {
@@ -73,7 +87,8 @@ int usage() {
       "              [--cache-mb=N] [--deadline=SECS] [--max-deadline=SECS]\n"
       "              [--max-np=N] [--max-script-kb=N]\n"
       "              [--breaker-threshold=N] [--breaker-cooldown=SECS]\n"
-      "              [--no-fault-plans]\n";
+      "              [--allow-fault-injection] [--checkpoint-root=DIR]\n"
+      "              [--checkpoint-mb=N]\n";
   return kExitUsage;
 }
 
@@ -98,8 +113,14 @@ bool parse_args(int argc, char** argv, Options& o) try {
       o.cfg.breaker.threshold = std::stoi(*v);
     } else if (auto v = value("--breaker-cooldown=")) {
       o.cfg.breaker.cooldown_seconds = std::stod(*v);
+    } else if (a == "--allow-fault-injection") {
+      o.cfg.allow_fault_plans = true;
     } else if (a == "--no-fault-plans") {
       o.cfg.allow_fault_plans = false;
+    } else if (auto v = value("--checkpoint-root=")) {
+      o.cfg.checkpoint_root = *v;
+    } else if (auto v = value("--checkpoint-mb=")) {
+      o.cfg.checkpoint_bytes = std::stoull(*v) << 20;
     } else {
       return false;
     }
