@@ -1,0 +1,152 @@
+// Cost of process isolation for the otterd run path: the same warm-cache
+// request mix is driven through two Service instances, one executing jobs
+// in-process (--isolate=none) and one forking a sandbox child per request
+// (--isolate=process, the daemon default).
+//
+// Both phases run with a warm artifact cache, so the delta is purely the
+// fork + socketpair + reap machinery — the price paid for a daemon that
+// survives SIGSEGV/OOM in user scripts. Reported per backend: req/s and
+// p50/p99 request latency; JSON records land in BENCH_otter.json via
+// scripts/run_bench.sh with backend = "in-process" / "sandboxed".
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "figure_common.hpp"
+#include "service/server.hpp"
+#include "support/json.hpp"
+
+namespace {
+
+using namespace otter;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kClientThreads = 4;
+constexpr int kDistinctScripts = 24;
+constexpr int kRounds = 6;
+
+std::string script_for(int i) {
+  // Modest matrix work: enough to be a real request, small enough that the
+  // per-request isolation overhead is visible rather than drowned out.
+  int n = 8 + (i % 7);
+  return "a = ones(" + std::to_string(n) + "," + std::to_string(n) +
+         "); b = a * 2 + " + std::to_string(i) +
+         "; c = b * a; disp(sum(sum(c)))";
+}
+
+struct Phase {
+  double wall_seconds = 0.0;
+  std::vector<double> latencies;  // per-request, seconds
+  uint64_t errors = 0;
+};
+
+Phase drive(service::Service& svc, const std::vector<std::string>& requests) {
+  Phase phase;
+  phase.latencies.resize(requests.size());
+  std::atomic<size_t> next{0};
+  std::atomic<uint64_t> errors{0};
+  Clock::time_point start = Clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(kClientThreads);
+  for (int t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back([&] {
+      for (;;) {
+        size_t i = next.fetch_add(1);
+        if (i >= requests.size()) return;
+        Clock::time_point t0 = Clock::now();
+        std::string resp_line = svc.process_line(requests[i]);
+        phase.latencies[i] =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        auto resp = json::parse(resp_line);
+        if (!resp || resp->get_string("status", "") != "ok") {
+          errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  phase.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  phase.errors = errors.load();
+  return phase;
+}
+
+double percentile(std::vector<double> xs, double p) {
+  std::sort(xs.begin(), xs.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(xs.size() - 1));
+  return xs[idx];
+}
+
+void report(const char* label, const Phase& phase) {
+  double rps = static_cast<double>(phase.latencies.size()) / phase.wall_seconds;
+  std::printf("%-12s %5zu requests in %7.3f s  |  %8.1f req/s  "
+              "p50 %7.3f ms  p99 %7.3f ms\n",
+              label, phase.latencies.size(), phase.wall_seconds, rps,
+              percentile(phase.latencies, 0.50) * 1e3,
+              percentile(phase.latencies, 0.99) * 1e3);
+  otter::bench::bench_records().push_back({"daemon_isolation", "ideal",
+                                           kClientThreads, kDistinctScripts,
+                                           phase.wall_seconds, 0, label});
+}
+
+/// One backend's measurement: warm the cache with a serial pass, then drive
+/// the measured mix concurrently.
+Phase measure(service::IsolateMode mode,
+              const std::vector<std::string>& warmup,
+              const std::vector<std::string>& mix) {
+  service::ServiceConfig cfg;
+  cfg.cache_bytes = 256ull << 20;  // never evict during the measurement
+  cfg.isolate = mode;
+  service::Service svc(cfg);
+  for (const auto& req : warmup) svc.process_line(req);
+  return drive(svc, mix);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  otter::bench::parse_bench_args(argc, argv);
+
+  std::printf("=== daemon_isolation: in-process vs fork-per-request run path "
+              "===\n");
+  std::printf("%d client threads, %d distinct scripts x %d rounds, warm "
+              "artifact cache\n\n",
+              kClientThreads, kDistinctScripts, kRounds);
+
+  std::vector<std::string> warmup;
+  warmup.reserve(kDistinctScripts);
+  for (int i = 0; i < kDistinctScripts; ++i) {
+    json::JValue req{json::JObject{}};
+    req.set("script", script_for(i));
+    req.set("np", 1);
+    warmup.push_back(req.dump());
+  }
+  std::vector<std::string> mix;
+  mix.reserve(warmup.size() * kRounds);
+  for (int r = 0; r < kRounds; ++r) {
+    mix.insert(mix.end(), warmup.begin(), warmup.end());
+  }
+
+  Phase inproc = measure(service::IsolateMode::None, warmup, mix);
+  report("in-process", inproc);
+  Phase sandboxed = measure(service::IsolateMode::Process, warmup, mix);
+  report("sandboxed", sandboxed);
+
+  if (inproc.errors + sandboxed.errors > 0) {
+    std::fprintf(stderr, "daemon_isolation: %llu requests failed\n",
+                 static_cast<unsigned long long>(inproc.errors +
+                                                 sandboxed.errors));
+    return 1;
+  }
+
+  double overhead =
+      (percentile(sandboxed.latencies, 0.50) -
+       percentile(inproc.latencies, 0.50)) * 1e3;
+  std::printf("\nsandbox p50 overhead per request: %.3f ms\n", overhead);
+
+  otter::bench::write_bench_json();
+  return 0;
+}

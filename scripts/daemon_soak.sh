@@ -1,0 +1,158 @@
+#!/usr/bin/env bash
+# Chaos soak for the otterd sandbox tier: boots one daemon in the default
+# --isolate=process mode and fires 200 mixed requests at it from concurrent
+# clients — 10% sandbox crashers (test_kill=segv/kill/exit), 10% OOMers
+# (mem_mb=1 against a matrix that needs ~11 MiB), 10% deadline-busters
+# (test_kill=hang under a 0.5 s deadline), and 70% healthy scripts — then
+# proves the isolation contract:
+#
+#   * the daemon never restarts: same pid before and after, still answering;
+#   * every child is accounted for: sandbox_spawned == sandbox_reaped;
+#   * every request is classified: healthy → ok, crashers → E0014,
+#     OOMers → E5006, hangs → E0009, with the exact expected counts;
+#   * the stats ledger balances: received == every outcome counter summed
+#     plus the control ops this script sent.
+#
+# Usage: scripts/daemon_soak.sh OTTERD_BIN
+set -u
+
+otterd="${1:?usage: daemon_soak.sh OTTERD_BIN}"
+
+tmp="$(mktemp -d)"
+sock="${tmp}/otterd.sock"
+daemon_pid=
+
+cleanup() {
+  [[ -n "${daemon_pid}" ]] && kill "${daemon_pid}" 2>/dev/null
+  rm -rf "${tmp}"
+}
+trap cleanup EXIT
+
+# Process isolation is the daemon default; fault injection is the explicit
+# opt-in that unlocks the test_kill chaos hook. The queue is sized so the
+# 8-way client never sheds — every request must reach a real outcome.
+"${otterd}" --listen="${sock}" --workers=4 --queue=64 \
+  --allow-fault-injection --deadline=20 \
+  2>"${tmp}/otterd.log" &
+daemon_pid=$!
+
+python3 - "${sock}" "${daemon_pid}" <<'EOF'
+import concurrent.futures, json, socket, sys, time
+
+sock_path, daemon_pid = sys.argv[1], int(sys.argv[2])
+control_ops = 0  # pings/stats that actually reached the server
+
+def rpc(req, timeout=60.0):
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as s:
+        s.settimeout(timeout)
+        s.connect(sock_path)
+        s.sendall((json.dumps(req) + "\n").encode())
+        buf = b""
+        while not buf.endswith(b"\n"):
+            chunk = s.recv(65536)
+            if not chunk:
+                break
+            buf += chunk
+    return json.loads(buf)
+
+# Wait for the socket, counting every ping the server answered.
+for _ in range(100):
+    try:
+        rpc({"op": "ping"}, timeout=2.0)
+        control_ops += 1
+        break
+    except OSError:
+        time.sleep(0.1)
+else:
+    sys.exit("daemon never answered ping")
+
+N = 200
+def build(i):
+    kind = ("crash", "oom", "hang", *["ok"] * 7)[i % 10]
+    np = (1, 2, 4)[i % 3]
+    if kind == "crash":
+        how = ("segv", "kill", "exit")[i // 10 % 3]
+        return kind, {"script": f"x = {i};\ndisp(x);\n", "np": np,
+                      "test_kill": how}
+    if kind == "oom":
+        return kind, {"script": f"s = {i};\nn = 600 + 600;\na = zeros(n);\n"
+                                "disp(a(1,1) + s);\n",
+                      "np": np, "mem_mb": 1}
+    if kind == "hang":
+        return kind, {"script": f"x = {i};\ndisp(x);\n", "np": np,
+                      "test_kill": "hang", "deadline": 0.5}
+    return kind, {"script": f"x = {i};\ny = x * 2;\ndisp(y);\n", "np": np}
+
+jobs = [build(i) for i in range(N)]
+expect = {"crash": ("runtime_error", "E0014"), "oom": ("runtime_error", "E5006"),
+          "hang": ("deadline", "E0009"), "ok": ("ok", None)}
+fails = 0
+with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+    results = list(pool.map(lambda kr: (kr[0], rpc(kr[1])), jobs))
+for kind, resp in results:
+    want_status, want_code = expect[kind]
+    if resp.get("status") != want_status or (
+            want_code and resp.get("code") != want_code):
+        print(f"FAIL: {kind} request answered "
+              f"{resp.get('status')}/{resp.get('code')}: "
+              f"{resp.get('message', '')[:120]}")
+        fails += 1
+
+import os
+try:
+    os.kill(daemon_pid, 0)
+    print("ok: daemon survived the soak (no restart, same pid)")
+except ProcessLookupError:
+    print("FAIL: daemon died during the soak")
+    fails += 1
+
+stats = rpc({"op": "stats"})["stats"]
+control_ops += 1  # the stats op counts itself in received
+
+def check(desc, cond, detail=""):
+    global fails
+    if cond:
+        print(f"ok: {desc}")
+    else:
+        print(f"FAIL: {desc} {detail}")
+        fails += 1
+
+counts = {k: sum(1 for kind, _ in jobs if kind == k) for k in expect}
+check("healthy requests all succeeded", stats["ok"] == counts["ok"],
+      f'(ok={stats["ok"]}, want {counts["ok"]})')
+check("crashers and OOMers are runtime errors",
+      stats["runtime_errors"] == counts["crash"] + counts["oom"],
+      f'(runtime_errors={stats["runtime_errors"]})')
+check("hangs hit the deadline", stats["deadline_expired"] == counts["hang"],
+      f'(deadline_expired={stats["deadline_expired"]})')
+check("crashed children are counted", stats["worker_crashes"] == counts["crash"],
+      f'(worker_crashes={stats["worker_crashes"]})')
+check("every sandbox child was reaped",
+      stats["sandbox_spawned"] == stats["sandbox_reaped"],
+      f'(spawned={stats["sandbox_spawned"]}, reaped={stats["sandbox_reaped"]})')
+check("hung children were killed by the backstop",
+      stats["sandbox_killed"] == counts["hang"],
+      f'(sandbox_killed={stats["sandbox_killed"]})')
+
+outcomes = sum(stats[k] for k in ("ok", "compile_errors", "runtime_errors",
+                                  "deadline_expired", "shed", "quarantined",
+                                  "bad_requests", "internal_errors"))
+check("stats ledger balances (received == outcomes + control ops)",
+      stats["received"] == outcomes + control_ops,
+      f'(received={stats["received"]}, outcomes={outcomes}, '
+      f'control={control_ops})')
+check("nothing was shed or quarantined",
+      stats["shed"] == 0 and stats["quarantined"] == 0,
+      f'(shed={stats["shed"]}, quarantined={stats["quarantined"]})')
+
+rpc({"op": "shutdown"})
+print()
+if fails:
+    sys.exit(f"daemon_soak: {fails} check(s) FAILED")
+print("daemon_soak: all checks passed")
+EOF
+rc=$?
+
+wait "${daemon_pid}" 2>/dev/null
+daemon_pid=
+exit "${rc}"

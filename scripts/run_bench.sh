@@ -20,8 +20,8 @@ fi
 tmp="$(mktemp -d)"
 trap 'rm -rf "${tmp}"' EXIT
 
-benches=(micro_opt micro_checkpoint daemon_throughput fig2_single_cpu fig3_cg fig4_ocean
-         fig5_nbody fig6_transitive)
+benches=(micro_opt micro_checkpoint daemon_throughput daemon_isolation
+         fig2_single_cpu fig3_cg fig4_ocean fig5_nbody fig6_transitive)
 
 for b in "${benches[@]}"; do
   bin="${build_dir}/bench/${b}"

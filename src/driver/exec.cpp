@@ -56,6 +56,13 @@ class Executor {
                       : cur_ != nullptr ? cur_->loc
                                         : SourceLoc{};
       throw rt::RtError(statement_context() + e.what(), loc, e.code);
+    } catch (const std::bad_alloc& e) {
+      // Allocation failure — a governor budget denial (gov::BudgetExceeded
+      // carries the accounting) or true host exhaustion. Either way it
+      // becomes the coded, statement-located E5006 instead of escaping a
+      // rank thread into std::terminate.
+      SourceLoc loc = cur_ != nullptr ? cur_->loc : SourceLoc{};
+      throw rt::RtError(statement_context() + e.what(), loc, "E5006");
     }
   }
 
@@ -213,16 +220,17 @@ class Executor {
   }
 
   static size_t as_index(double v, const char* what) {
-    if (v < 0 || std::floor(v) != v) {
+    // The upper bound also rejects Inf: a non-finite index cast to size_t
+    // is undefined behaviour before it is ever range-checked.
+    if (!(v >= 0) || !(v < 9007199254740992.0) || std::floor(v) != v) {
       fail(std::string("invalid ") + what + " index");
     }
     return static_cast<size_t>(v);
   }
   static size_t as_dim(double v, const char* what) {
-    if (v < 0 || std::floor(v) != v) {
-      fail(std::string("invalid ") + what + " dimension");
-    }
-    return static_cast<size_t>(v);
+    // Negative, NaN, Inf, and 2^53-exceeding extents get the stable E5007
+    // before any allocation is attempted (rt::checked_dim throws RtError).
+    return rt::checked_dim(v, what);
   }
 
   // -- instructions ---------------------------------------------------------------

@@ -8,6 +8,7 @@
 
 #include "analysis/verify.hpp"
 #include "interp/interp.hpp"
+#include "support/governor.hpp"
 #include "support/rng.hpp"
 
 namespace otter::driver {
@@ -73,6 +74,10 @@ ParallelRun run_parallel(const lower::LProgram& lir,
   ParallelRun result;
   std::ostringstream out;
   ExecOptions eopts = opts;
+  // Install the per-request matrix-memory budget for the lifetime of the
+  // run; allocations past it throw gov::BudgetExceeded → E5006 on the
+  // offending rank/statement instead of OOM-killing the process.
+  gov::ScopedBudget budget(opts.spmd.mem_budget_bytes);
   std::unique_ptr<CheckpointCoordinator> co;
   if (opts.ckpt.enabled()) {
     co = std::make_unique<CheckpointCoordinator>(

@@ -139,7 +139,16 @@ std::vector<Value> Interp::call_builtin(const BuiltinInfo& info,
                   std::string(info.name) + "'");
   }
   auto arg_dim = [&](int i) {
-    return static_cast<size_t>(to_double(args[i], loc));
+    double v = to_double(args[i], loc);
+    // 2^53: past this a double cannot represent every integer, so the
+    // value is rejected before the size_t cast (also rejects NaN/Inf).
+    if (!(v >= 0.0) || !(v < 9007199254740992.0) || std::floor(v) != v) {
+      throw InterpError(loc,
+                        "invalid dimension " + format_value(Value(v)) +
+                            " (must be a nonnegative finite integer)",
+                        "E5007");
+    }
+    return static_cast<size_t>(v);
   };
 
   switch (info.id) {
@@ -383,7 +392,7 @@ std::vector<Value> Interp::call_builtin(const BuiltinInfo& info,
       std::optional<MatFile> mf = read_mat_file(args[0].str(), &err);
       if (!mf) fail(loc, "load: " + err);
       auto m = std::make_shared<Mat>(mf->rows, mf->cols);
-      m->re = std::move(mf->data);
+      m->re.assign(mf->data.begin(), mf->data.end());
       return {simplify(Value(std::move(m)))};
     }
     case Builtin::Pi:

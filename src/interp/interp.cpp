@@ -13,8 +13,14 @@ Interp::Interp(const Program& prog, std::ostream& out)
     : prog_(prog), out_(out) {}
 
 void Interp::run() {
-  Flow f = exec_block(prog_.script, script_env_);
-  (void)f;  // Return at script level just stops execution.
+  try {
+    Flow f = exec_block(prog_.script, script_env_);
+    (void)f;  // Return at script level just stops execution.
+  } catch (const std::bad_alloc& e) {
+    // Governor budget denial (gov::BudgetExceeded) or true host exhaustion:
+    // surface the coded diagnostic instead of an unlocated bad_alloc.
+    throw InterpError(SourceLoc{}, e.what(), "E5006");
+  }
 }
 
 const Value* Interp::lookup(const std::string& name) const {

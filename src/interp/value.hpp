@@ -10,12 +10,14 @@
 
 #include <complex>
 #include <cstddef>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <string>
 #include <variant>
 #include <vector>
 
+#include "support/governor.hpp"
 #include "support/rng.hpp"
 #include "support/source.hpp"
 
@@ -35,18 +37,36 @@ class InterpError : public std::runtime_error {
   std::string code_;
 };
 
+/// Chokepoint for matrix extents: every Mat construction funnels its element
+/// count through here, so negative-derived/overflow-prone sizes become the
+/// stable E5007 before any allocation is attempted rather than a wrapped
+/// multiply feeding a giant (or tiny) vector.
+inline size_t checked_numel(size_t r, size_t c) {
+  constexpr size_t kMax = std::numeric_limits<size_t>::max() / 8;
+  if (c != 0 && r > kMax / c) {
+    throw InterpError(SourceLoc{},
+                      "matrix dimensions " + std::to_string(r) + "x" +
+                          std::to_string(c) +
+                          " overflow the addressable element count",
+                      "E5007");
+  }
+  return r * c;
+}
+
 /// Dense 2-D matrix. Row-major storage (matching the run-time library's
 /// row-contiguous distribution). Vectors are 1×n or n×1 matrices.
+/// Element buffers are charged to the process resource governor so a
+/// per-request memory budget fails the request (E5006), not the process.
 struct Mat {
   size_t rows = 0;
   size_t cols = 0;
   bool is_complex = false;
-  std::vector<double> re;
-  std::vector<double> im;  // empty unless is_complex
+  gov::DoubleBuffer re;
+  gov::DoubleBuffer im;  // empty unless is_complex
 
   Mat() = default;
   Mat(size_t r, size_t c, bool cplx = false)
-      : rows(r), cols(c), is_complex(cplx), re(r * c, 0.0) {
+      : rows(r), cols(c), is_complex(cplx), re(checked_numel(r, c), 0.0) {
     if (cplx) im.assign(r * c, 0.0);
   }
 

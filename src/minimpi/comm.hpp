@@ -68,6 +68,12 @@ struct SpmdOptions {
   /// Scripted deterministic faults (see minimpi/fault.hpp). Default: none.
   FaultPlan fault;
 
+  /// Per-request matrix-memory budget in bytes, charged against the process
+  /// resource governor for the duration of the run (0 = unlimited). Exact
+  /// per-request under --isolate=process (one child per request); a shared
+  /// process-wide ceiling under --isolate=none.
+  uint64_t mem_budget_bytes = 0;
+
   [[nodiscard]] bool has_deadline() const {
     return run_deadline != std::chrono::steady_clock::time_point{};
   }

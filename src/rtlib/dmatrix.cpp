@@ -18,10 +18,37 @@ std::string shape_str(const DMat& m) {
 }
 }  // namespace
 
+// -- dimension validation -----------------------------------------------------
+
+void check_extents(size_t rows, size_t cols, SourceLoc loc) {
+  if (cols != 0 && rows > kMaxMatrixElements / cols) {
+    throw RtError("matrix dimensions " + std::to_string(rows) + "x" +
+                      std::to_string(cols) +
+                      " overflow the addressable element count",
+                  loc, "E5007");
+  }
+}
+
+size_t checked_dim(double v, const char* what, SourceLoc loc) {
+  // 2^53: beyond this a double has gaps wider than 1, so the value cannot
+  // name an exact extent — and any such request is absurd anyway. The
+  // comparison is also the NaN/Inf guard (NaN fails v >= 0, Inf fails the
+  // upper bound).
+  constexpr double kLimit = 9007199254740992.0;
+  if (!(v >= 0.0) || !(v < kLimit) || std::floor(v) != v) {
+    throw RtError(std::string("invalid ") + what + " dimension " +
+                      std::to_string(v) +
+                      " (must be a nonnegative finite integer)",
+                  loc, "E5007");
+  }
+  return static_cast<size_t>(v);
+}
+
 // -- DMat ---------------------------------------------------------------------
 
 DMat::DMat(mpi::Comm& comm, size_t rows, size_t cols, Dist dist)
     : rows_(rows), cols_(cols), rank_(comm.rank()) {
+  check_extents(rows, cols);
   // Vectors are distributed by element blocks, matrices by rows (paper §3).
   if (is_vector()) {
     layout_ = Layout(rows * cols, comm.size(), dist);
@@ -51,6 +78,8 @@ DMat DMat::load_snapshot(snap::Reader& r, int rank) {
   auto dist_raw = r.u8();
   if (dist_raw > static_cast<uint8_t>(Dist::Cyclic) || p < 1)
     throw snap::SnapshotError("corrupt checkpoint: bad matrix layout");
+  if (m.cols_ != 0 && m.rows_ > kMaxMatrixElements / m.cols_)
+    throw snap::SnapshotError("corrupt checkpoint: matrix extents overflow");
   m.rank_ = rank;
   m.layout_ = Layout(n, p, static_cast<Dist>(dist_raw));
   size_t count = r.u64();

@@ -14,6 +14,7 @@
 // so element-wise operations never communicate (paper §3 assumptions 1–3).
 #pragma once
 
+#include <limits>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -21,6 +22,7 @@
 
 #include "minimpi/comm.hpp"
 #include "rtlib/layout.hpp"
+#include "support/governor.hpp"
 #include "support/snapshot.hpp"
 #include "support/source.hpp"
 
@@ -43,6 +45,28 @@ class RtError : public std::runtime_error, public mpi::CodedError {
   SourceLoc loc;     // statement location when known ({} otherwise)
   std::string code;  // e.g. "E5001" generic, "E5003" shape guard
 };
+
+// -- dimension validation -----------------------------------------------------
+// User-controlled extents (`zeros(n)`, `rand(r, c)`, …) must be rejected
+// *before* any buffer is sized: a negative or NaN extent cast to size_t is
+// a multi-exabyte allocation request, and rows*cols can overflow size_t
+// into a small, wrong payload. Every backend funnels through the DMat
+// constructor, which enforces these; the double-valued helpers are for the
+// executors that convert script scalars to extents.
+
+/// Largest accepted element count: the payload byte count (8 bytes/elem)
+/// must not overflow size_t, with headroom for the layout math.
+inline constexpr size_t kMaxMatrixElements =
+    std::numeric_limits<size_t>::max() / 8;
+
+/// Throws RtError [E5007] when rows*cols overflows or exceeds the element
+/// ceiling. Called by the DMat constructor before any allocation.
+void check_extents(size_t rows, size_t cols, SourceLoc loc = {});
+
+/// Converts a script scalar to a dimension extent. Throws RtError [E5007]
+/// for negative, non-integral, NaN/Inf, or 2^53-exceeding values (beyond
+/// 2^53 a double cannot even name the extent exactly).
+size_t checked_dim(double v, const char* what, SourceLoc loc = {});
 
 /// One rank's handle on a distributed real matrix.
 class DMat {
@@ -104,7 +128,9 @@ class DMat {
   size_t cols_ = 0;
   int rank_ = 0;
   Layout layout_;
-  std::vector<double> local_;
+  /// Local payload, charged against the process resource governor — the
+  /// accounting hook that lets otterd bound a request's memory (E5006).
+  gov::DoubleBuffer local_;
 };
 
 /// Element-wise operator codes shared between the direct executor and

@@ -1,0 +1,115 @@
+// Process-isolated execution sandboxes for otterd.
+//
+// Compilation is cheap, deterministic, and hardened by budgets, so it stays
+// in the daemon process (and keeps the shared artifact cache warm). Script
+// *execution* is where arbitrary user computation runs — a wild pointer in
+// a generated kernel, a runaway allocation, or an injected crash used to
+// take the whole daemon down. run_in_sandbox() forks each run into a
+// short-lived child that inherits the compiled artifact copy-on-write,
+// executes it, and ships one JSON response line back over a socketpair
+// before _exit(0). The parent never trusts the child to die politely:
+//
+//   * a SIGKILL backstop fires once the request deadline (+ a small grace)
+//     passes, so a wedged child cannot outlive its request;
+//   * the child's stderr is captured through a pipe (capped) so a crash
+//     leaves a debuggable trace in the response instead of interleaving
+//     with the daemon's own log;
+//   * setrlimit(RLIMIT_AS / RLIMIT_CPU) is applied in the child as
+//     belt-and-suspenders under the governor's accounted budget (the
+//     address-space limit is skipped under sanitizers, which reserve
+//     terabytes of shadow memory up front).
+//
+// The Supervisor is the shared bookkeeping object: it counts spawns, reaps,
+// deadline kills, and crash deaths so the daemon's stats report how hard
+// the isolation layer is working. Classifying a death into a response code
+// is the Service's job (E0014 for a worker that died before replying,
+// E0009 for a deadline kill) — see server.cpp.
+//
+// Fork-safety notes: the child never touches the daemon's mutex-guarded
+// state (cache, breaker, worker pool); the run closure only reads the
+// immutable compiled artifact and fresh per-run objects. The child does not
+// exec, so a crashing script costs one fork, not a compile.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace otter::service {
+
+/// Hard limits applied inside the child before it runs the request.
+struct SandboxLimits {
+  /// Governor budget for the run; also sizes the RLIMIT_AS backstop
+  /// (budget x 4 + fixed headroom). 0 = no address-space limit.
+  uint64_t mem_budget_bytes = 0;
+  /// RLIMIT_CPU seconds (0 = none). Sized generously from the request
+  /// deadline: the wall-clock backstop is the primary kill path.
+  double cpu_limit_seconds = 0;
+  /// Extra wall-clock seconds past the deadline before SIGKILL, giving the
+  /// in-process deadline machinery (E0009/E5004) first shot at a clean
+  /// coded reply.
+  double kill_grace = 0.5;
+  /// Byte cap on captured child stderr (the head is kept; a marker notes
+  /// truncation).
+  size_t stderr_cap = 8192;
+  /// Chaos hook (gated behind allow_fault_plans): make the child die this
+  /// way instead of running the job. "" | "segv" | "kill" | "exit" | "hang".
+  std::string test_kill;
+  /// Daemon shutdown flag; when raised mid-run the child is killed early
+  /// and the outcome reports a timeout (the service renders it as E0009).
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+/// What happened to one sandboxed run, for the Service to classify.
+struct SandboxOutcome {
+  bool replied = false;      ///< a complete response line arrived
+  std::string reply;         ///< the line (no trailing newline)
+  bool timed_out = false;    ///< parent SIGKILLed it (deadline or cancel)
+  bool signaled = false;     ///< child terminated by a signal
+  int term_signal = 0;       ///< valid when signaled
+  int exit_code = 0;         ///< valid when !signaled
+  std::string child_stderr;  ///< captured stderr, capped at stderr_cap
+};
+
+/// Shared child-process bookkeeping across all sandboxed requests.
+class Supervisor {
+ public:
+  struct Stats {
+    uint64_t spawned = 0;  ///< children forked
+    uint64_t reaped = 0;   ///< children waited on (== spawned when idle)
+    uint64_t killed = 0;   ///< SIGKILLed by the deadline/cancel backstop
+    uint64_t crashed = 0;  ///< died without producing a reply
+  };
+
+  void on_spawn() { spawned_.fetch_add(1, std::memory_order_relaxed); }
+  void on_reap(bool killed, bool crashed) {
+    reaped_.fetch_add(1, std::memory_order_relaxed);
+    if (killed) killed_.fetch_add(1, std::memory_order_relaxed);
+    if (crashed) crashed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] Stats stats() const {
+    return {spawned_.load(std::memory_order_relaxed),
+            reaped_.load(std::memory_order_relaxed),
+            killed_.load(std::memory_order_relaxed),
+            crashed_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  std::atomic<uint64_t> spawned_{0};
+  std::atomic<uint64_t> reaped_{0};
+  std::atomic<uint64_t> killed_{0};
+  std::atomic<uint64_t> crashed_{0};
+};
+
+/// Forks, runs `job` in the child (it returns the JSON response line to
+/// ship), and reaps the child no matter how it dies. Never throws; a fork
+/// or pipe failure is reported as a crashed, unreplied outcome.
+SandboxOutcome run_in_sandbox(const std::function<std::string()>& job,
+                              std::chrono::steady_clock::time_point deadline,
+                              const SandboxLimits& limits, Supervisor& sup);
+
+}  // namespace otter::service

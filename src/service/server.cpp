@@ -8,9 +8,21 @@
 #include "minimpi/fault.hpp"
 #include "service/hash.hpp"
 #include "support/diag.hpp"
+#include "support/governor.hpp"
 #include "support/snapshot.hpp"
 
 namespace otter::service {
+
+/// Everything the execution tier needs to run a compiled artifact once.
+/// Built by handle_script after admission; consumed either in-process or
+/// inside a sandbox child.
+struct RunSetup {
+  int np = 1;
+  std::string machine;
+  driver::ExecOptions eo;
+  std::string ckpt_dir;
+  std::string test_kill;  // chaos hook, validated + gated by handle_script
+};
 
 namespace {
 
@@ -62,6 +74,97 @@ bool looks_like_deadline(const mpi::SpmdFailure& f) {
     }
   }
   return false;
+}
+
+json::JValue rank_failures_json(const mpi::SpmdFailure& f) {
+  json::JArray ranks;
+  for (const mpi::RankFailure& rf : f.failures()) {
+    json::JValue e{json::JObject{}};
+    e.set("rank", rf.rank);
+    e.set("primary", rf.primary);
+    e.set("ops_completed", rf.ops_completed);
+    e.set("what", rf.what);
+    ranks.push_back(std::move(e));
+  }
+  return json::JValue(std::move(ranks));
+}
+
+/// Runs the artifact once and renders the outcome as an *undecorated*
+/// partial response — status/code/message/output/failures/governor only.
+/// The caller adds id/hash/cache/stats and drives counters + the breaker
+/// off the status, which is what lets the sandboxed and in-process tiers
+/// share one classification path (in sandbox mode this function runs in
+/// the child, where counter state would be lost with the process).
+/// Never throws: it is the per-request exception barrier, and in the child
+/// an escaped exception would be an opaque protocol death instead of a
+/// coded error.
+json::JValue run_artifact(const driver::CompileResult& compiled,
+                          const RunSetup& s) {
+  json::JValue out{json::JObject{}};
+  try {
+    driver::ParallelRun run = driver::run_parallel(
+        compiled.lir, mpi::profile_by_name(s.machine), s.np, s.eo);
+    out.set("status", "ok");
+    out.set("output", run.output);
+    out.set("max_vtime", run.times.max_vtime());
+    out.set("comm_ops", run.times.total_ops());
+    if (!s.ckpt_dir.empty()) {
+      json::JValue ck{json::JObject{}};
+      ck.set("written", run.checkpoints_written);
+      ck.set("resumed", run.resumed);
+      ck.set("resumed_statement", run.resumed_statement);
+      out.set("checkpoint", std::move(ck));
+      if (!run.warnings.empty()) {
+        json::JArray ws;
+        for (const std::string& w : run.warnings)
+          ws.push_back(json::JValue(w));
+        out.set("warnings", json::JValue(std::move(ws)));
+      }
+    }
+  } catch (const mpi::SpmdFailure& f) {
+    if (looks_like_deadline(f)) {
+      out.set("status", "deadline");
+      out.set("code", "E0009");
+      out.set("message",
+              "request wall-clock deadline exceeded during execution");
+    } else {
+      // Surface the primary rank's diagnostic code (E5006 budget, E5003
+      // shape guard, ...) instead of flattening everything to E5001.
+      const std::string& rcode = f.first().code;
+      out.set("status", "runtime_error");
+      out.set("code", rcode.empty() ? "E5001" : rcode);
+      out.set("message", f.what());
+    }
+    out.set("failures", rank_failures_json(f));
+  } catch (const rt::RtError& e) {
+    if (e.code == "E5004") {
+      out.set("status", "deadline");
+      out.set("code", "E0009");
+    } else {
+      out.set("status", "runtime_error");
+      out.set("code", e.code.empty() ? "E5001" : e.code);
+    }
+    out.set("message", e.what());
+  } catch (const std::bad_alloc& e) {
+    // The executor's own barrier maps budget denials mid-run to a coded
+    // RtError; this catches an allocation failing outside it.
+    out.set("status", "runtime_error");
+    out.set("code", "E5006");
+    out.set("message", e.what());
+  } catch (const std::exception& e) {
+    out.set("status", "runtime_error");
+    out.set("code", "E5001");
+    out.set("message", e.what());
+  }
+  // The run's governor accounting rides back in the response; in sandbox
+  // mode this is the child's ledger, i.e. exactly this request's usage.
+  const gov::GovernorStats gs = gov::ResourceGovernor::instance().stats();
+  json::JValue gj{json::JObject{}};
+  gj.set("peak_bytes", gs.peak);
+  gj.set("denials", gs.denials);
+  gj.set("budget_bytes", s.eo.spmd.mem_budget_bytes);
+  out.set("governor", std::move(gj));
+  return out;
 }
 
 }  // namespace
@@ -158,6 +261,12 @@ json::JValue Service::process(const json::JValue& req,
                                 "\"");
     }
     return handle_script(req, deadline);
+  } catch (const std::bad_alloc& e) {
+    // Allocation failure on the request path itself (outside the run
+    // barrier): still a per-request coded error, never daemon death.
+    runtime_errors_.fetch_add(1);
+    return error_response(&req, "runtime_error", "E5006",
+                          std::string("memory budget exceeded: ") + e.what());
   } catch (const std::exception& e) {
     return error_response(&req, "internal_error", "",
                           std::string("internal service error: ") + e.what());
@@ -218,6 +327,44 @@ json::JValue Service::handle_script(
       return error_response(&req, "bad_request", "E0011",
                             std::string("malformed service request: ") +
                                 e.what());
+    }
+  }
+
+  // ---- sandbox / governor request fields ------------------------------
+  const double mem_mb = req.get_number("mem_mb", -1.0);
+  if (req.get("mem_mb") != nullptr && (!(mem_mb >= 0) || mem_mb > 1e9)) {
+    return error_response(&req, "bad_request", "E0011",
+                          "malformed service request: \"mem_mb\" must be a "
+                          "nonnegative number of MiB");
+  }
+  const uint64_t mem_bytes =
+      mem_mb >= 0 ? static_cast<uint64_t>(mem_mb * 1024.0 * 1024.0)
+                  : cfg_.default_mem_bytes;
+
+  const int retries = static_cast<int>(req.get_number("retries", 0));
+  if (retries < 0 || retries > cfg_.max_retries) {
+    return error_response(&req, "bad_request", "E0011",
+                          "malformed service request: \"retries\" must be in "
+                          "0.." + std::to_string(cfg_.max_retries));
+  }
+
+  const std::string test_kill = req.get_string("test_kill", "");
+  if (!test_kill.empty()) {
+    if (!cfg_.allow_fault_plans) {
+      return error_response(&req, "bad_request", "E0012",
+                            "request exceeds the service admission limits: "
+                            "fault injection is disabled on this server");
+    }
+    if (cfg_.isolate != IsolateMode::Process) {
+      return error_response(&req, "bad_request", "E0012",
+                            "request exceeds the service admission limits: "
+                            "\"test_kill\" requires --isolate=process");
+    }
+    if (test_kill != "segv" && test_kill != "kill" && test_kill != "exit" &&
+        test_kill != "hang") {
+      return error_response(&req, "bad_request", "E0011",
+                            "malformed service request: \"test_kill\" must "
+                            "be segv, kill, exit, or hang");
     }
   }
 
@@ -344,89 +491,146 @@ json::JValue Service::handle_script(
                           "execution started");
   }
 
-  // ---- run under the per-request exception barrier --------------------
-  driver::ExecOptions eo;
+  // ---- run: in-process barrier or fork-per-request sandbox -------------
+  RunSetup setup;
+  setup.np = np;
+  setup.machine = machine;
+  setup.ckpt_dir = ckpt_dir;
+  setup.test_kill = test_kill;
+  driver::ExecOptions& eo = setup.eo;
   eo.rand_seed = static_cast<uint64_t>(req.get_number("rand_seed", 1));
   eo.spmd.fault = fault;
   eo.spmd.run_deadline = deadline;
   eo.spmd.cancel = &shutdown_;
+  eo.spmd.mem_budget_bytes = mem_bytes;
   if (!ckpt_dir.empty()) {
     eo.ckpt.interval = static_cast<uint32_t>(ckpt_interval);
     eo.ckpt.dir = ckpt_dir;
     eo.ckpt.resume = ckpt_resume;
   }
-  try {
-    driver::ParallelRun run = driver::run_parallel(
-        art->compiled->lir, mpi::profile_by_name(machine), np, eo);
+
+  json::JValue partial =
+      cfg_.isolate == IsolateMode::Process
+          ? run_sandboxed(*art->compiled, std::move(setup), deadline, retries)
+          : run_artifact(*art->compiled, setup);
+
+  // Keep the retention budget honest for successes *and* failures — a crash
+  // may well have happened after several generations were committed (that
+  // is the point), and the next resume must find them pruned, not grown.
+  if (!ckpt_dir.empty())
+    snap::prune_checkpoints(ckpt_dir, cfg_.checkpoint_bytes);
+
+  const std::string status = partial.get_string("status", "internal_error");
+  if (status == "ok") {
     ok_.fetch_add(1);
     breaker_.record_success(hash);
     resp.set("status", "ok");
-    resp.set("output", run.output);
-    resp.set("max_vtime", run.times.max_vtime());
-    resp.set("comm_ops", run.times.total_ops());
-    if (!ckpt_dir.empty()) {
-      json::JValue ck{json::JObject{}};
-      ck.set("written", run.checkpoints_written);
-      ck.set("resumed", run.resumed);
-      ck.set("resumed_statement", run.resumed_statement);
-      resp.set("checkpoint", std::move(ck));
-      if (!run.warnings.empty()) {
-        json::JArray ws;
-        for (const std::string& w : run.warnings) ws.push_back(json::JValue(w));
-        resp.set("warnings", json::JValue(std::move(ws)));
-      }
-      snap::prune_checkpoints(ckpt_dir, cfg_.checkpoint_bytes);
+    for (const char* key :
+         {"output", "max_vtime", "comm_ops", "checkpoint", "warnings",
+          "governor", "attempts"}) {
+      if (const json::JValue* v = partial.get(key)) resp.set(key, *v);
     }
     attach_stats(resp);
     return resp;
-  } catch (const mpi::SpmdFailure& f) {
-    breaker_.record_failure(hash);
-    // Keep the retention budget honest even for failed runs — the crash may
-    // well have happened *after* several generations were committed (that
-    // is the point), and the next resume must find them pruned, not grown.
-    if (!ckpt_dir.empty())
-      snap::prune_checkpoints(ckpt_dir, cfg_.checkpoint_bytes);
-    json::JValue fr{json::JObject{}};
-    if (looks_like_deadline(f)) {
-      deadline_expired_.fetch_add(1);
-      fr = error_response(&req, "deadline", "E0009",
-                          "request wall-clock deadline exceeded during "
-                          "execution");
-    } else {
-      runtime_errors_.fetch_add(1);
-      fr = error_response(&req, "runtime_error", "E5001", f.what());
-    }
-    json::JArray ranks;
-    for (const mpi::RankFailure& rf : f.failures()) {
-      json::JValue e{json::JObject{}};
-      e.set("rank", rf.rank);
-      e.set("primary", rf.primary);
-      e.set("ops_completed", rf.ops_completed);
-      e.set("what", rf.what);
-      ranks.push_back(std::move(e));
-    }
-    fr.set("failures", json::JValue(std::move(ranks)));
-    fr.set("hash", hash);
-    fr.set("cache", cache_hit ? "hit" : "miss");
-    return fr;
-  } catch (const rt::RtError& e) {
-    breaker_.record_failure(hash);
-    if (e.code == "E5004") {
-      deadline_expired_.fetch_add(1);
-      return error_response(&req, "deadline", "E0009", e.what());
-    }
+  }
+
+  // Failure: the breaker and the counters are fed from the classification,
+  // which makes a sandboxed crash (E0014) advance the same quarantine
+  // machinery an in-process exception always has.
+  breaker_.record_failure(hash);
+  const std::string code = partial.get_string("code", "E5001");
+  if (status == "deadline") {
+    deadline_expired_.fetch_add(1);
+  } else {
     runtime_errors_.fetch_add(1);
-    json::JValue fr = error_response(&req, "runtime_error",
-                                     e.code.empty() ? "E5001" : e.code.c_str(),
-                                     e.what());
-    fr.set("hash", hash);
-    return fr;
-  } catch (const std::exception& e) {
-    breaker_.record_failure(hash);
-    runtime_errors_.fetch_add(1);
-    json::JValue fr = error_response(&req, "runtime_error", "E5001", e.what());
-    fr.set("hash", hash);
-    return fr;
+  }
+  if (code == "E0014") worker_crashes_.fetch_add(1);
+  json::JValue fr =
+      error_response(&req, status.c_str(), code.c_str(),
+                     partial.get_string("message", "execution failed"));
+  for (const char* key :
+       {"failures", "worker_stderr", "governor", "attempts"}) {
+    if (const json::JValue* v = partial.get(key)) fr.set(key, *v);
+  }
+  fr.set("hash", hash);
+  fr.set("cache", cache_hit ? "hit" : "miss");
+  return fr;
+}
+
+json::JValue Service::run_sandboxed(
+    const driver::CompileResult& compiled, RunSetup s,
+    std::chrono::steady_clock::time_point deadline, int retries) {
+  for (int attempt = 0;; ++attempt) {
+    SandboxLimits lim;
+    lim.mem_budget_bytes = s.eo.spmd.mem_budget_bytes;
+    const double remaining = seconds_until(deadline);
+    // CPU backstop: virtual-time ranks are real threads, so CPU time can
+    // legitimately exceed wall time by ~np. Generous on purpose — the
+    // wall-clock SIGKILL is the primary kill path.
+    lim.cpu_limit_seconds =
+        remaining > 0 ? remaining * (s.np + 1) + 2.0 : 0.0;
+    lim.kill_grace = cfg_.kill_grace;
+    lim.stderr_cap = cfg_.stderr_cap;
+    lim.test_kill = s.test_kill;
+    lim.cancel = &shutdown_;
+
+    const SandboxOutcome oc = run_in_sandbox(
+        [&]() { return run_artifact(compiled, s).dump(); }, deadline, lim,
+        supervisor_);
+
+    if (oc.replied) {
+      // Clean reply — success or a deterministic coded error; either way
+      // there is nothing a respawn would change.
+      json::JValue partial{json::JObject{}};
+      if (std::optional<json::JValue> p = json::parse(oc.reply);
+          p && p->is_object()) {
+        partial = std::move(*p);
+      } else {
+        partial.set("status", "runtime_error");
+        partial.set("code", "E0014");
+        partial.set("message", "worker died: torn or unparseable reply");
+        if (!oc.child_stderr.empty())
+          partial.set("worker_stderr", oc.child_stderr);
+      }
+      if (attempt > 0) partial.set("attempts", attempt + 1);
+      return partial;
+    }
+
+    if (oc.timed_out) {
+      // The SIGKILL backstop fired (deadline or daemon shutdown). No time
+      // is left, so the retry ladder does not apply.
+      json::JValue partial{json::JObject{}};
+      partial.set("status", "deadline");
+      partial.set("code", "E0009");
+      partial.set("message",
+                  "request wall-clock deadline exceeded during execution "
+                  "(worker killed)");
+      if (!oc.child_stderr.empty())
+        partial.set("worker_stderr", oc.child_stderr);
+      if (attempt > 0) partial.set("attempts", attempt + 1);
+      return partial;
+    }
+
+    // The child died without replying. Crashes are the retryable class
+    // (PR 7's ladder): respawn with checkpoint resume when available, so a
+    // mid-run death continues instead of starting over.
+    if (attempt < retries && seconds_until(deadline) > 0) {
+      worker_retries_.fetch_add(1);
+      if (!s.ckpt_dir.empty()) s.eo.ckpt.resume = true;
+      continue;
+    }
+    json::JValue partial{json::JObject{}};
+    partial.set("status", "runtime_error");
+    partial.set("code", "E0014");
+    partial.set("message",
+                oc.signaled
+                    ? "worker died: signal " + std::to_string(oc.term_signal)
+                    : "worker died: exit status " +
+                          std::to_string(oc.exit_code) + " before replying");
+    if (!oc.child_stderr.empty())
+      partial.set("worker_stderr", oc.child_stderr);
+    if (attempt > 0) partial.set("attempts", attempt + 1);
+    return partial;
   }
 }
 
@@ -469,6 +673,15 @@ ServiceStats Service::stats() const {
   s.breaker_trips = breaker_.trip_count();
   s.cache_bytes = cache_.bytes();
   s.cache_entries = cache_.entries();
+  s.worker_crashes = worker_crashes_.load();
+  s.worker_retries = worker_retries_.load();
+  const Supervisor::Stats sb = supervisor_.stats();
+  s.sandbox_spawned = sb.spawned;
+  s.sandbox_reaped = sb.reaped;
+  s.sandbox_killed = sb.killed;
+  const gov::GovernorStats gs = gov::ResourceGovernor::instance().stats();
+  s.gov_peak_bytes = gs.peak;
+  s.gov_denials = gs.denials;
   return s;
 }
 
@@ -490,6 +703,13 @@ void Service::attach_stats(json::JValue& resp) {
   j.set("breaker_trips", s.breaker_trips);
   j.set("cache_bytes", s.cache_bytes);
   j.set("cache_entries", s.cache_entries);
+  j.set("worker_crashes", s.worker_crashes);
+  j.set("worker_retries", s.worker_retries);
+  j.set("sandbox_spawned", s.sandbox_spawned);
+  j.set("sandbox_reaped", s.sandbox_reaped);
+  j.set("sandbox_killed", s.sandbox_killed);
+  j.set("gov_peak_bytes", s.gov_peak_bytes);
+  j.set("gov_denials", s.gov_denials);
   resp.set("stats", std::move(j));
 }
 

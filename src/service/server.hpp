@@ -34,10 +34,26 @@
 
 #include "service/breaker.hpp"
 #include "service/cache.hpp"
+#include "service/sandbox.hpp"
 #include "support/budget.hpp"
 #include "support/json.hpp"
 
+namespace otter::driver {
+struct CompileResult;
+}  // namespace otter::driver
+
 namespace otter::service {
+
+/// Where script execution happens. Compilation always stays in-process
+/// (shared cache, deterministic, budget-hardened); this selects what runs
+/// the compiled artifact.
+enum class IsolateMode {
+  None,     ///< in-process, exception barriers only (library/test default)
+  Process,  ///< fork-per-request sandbox (otterd default; DESIGN.md §17)
+};
+
+/// Per-run parameters handed to the execution tier (defined in server.cpp).
+struct RunSetup;
 
 struct ServiceConfig {
   size_t cache_bytes = 64ull << 20;  ///< artifact cache byte budget
@@ -56,6 +72,19 @@ struct ServiceConfig {
   uint64_t checkpoint_bytes = 16ull << 20;
   CircuitBreaker::Options breaker;
   CompileBudget budget;              ///< per-request compile budget
+  /// Execution tier. The library default is in-process so embedders and
+  /// unit tests keep single-process semantics; otterd flips this to
+  /// Process unless started with --isolate=none.
+  IsolateMode isolate = IsolateMode::None;
+  /// Server-default per-request matrix-memory budget in bytes (0 = none);
+  /// a request's "mem_mb" field overrides it. otterd --mem-mb.
+  uint64_t default_mem_bytes = 0;
+  /// Ceiling on the "retries" request field (crashed-worker respawns).
+  int max_retries = 5;
+  /// Cap on child stderr captured into responses ("worker_stderr").
+  size_t stderr_cap = 8192;
+  /// Seconds past the request deadline before the sandbox SIGKILL fires.
+  double kill_grace = 0.5;
 };
 
 /// Monotonic counters, snapshotted into every response's "stats" object so
@@ -76,6 +105,14 @@ struct ServiceStats {
   uint64_t breaker_trips = 0;
   size_t cache_bytes = 0;
   size_t cache_entries = 0;
+  // Sandbox / governor health (DESIGN.md §17).
+  uint64_t worker_crashes = 0;    ///< requests answered E0014
+  uint64_t worker_retries = 0;    ///< crashed-child respawns
+  uint64_t sandbox_spawned = 0;   ///< children forked
+  uint64_t sandbox_reaped = 0;    ///< children waited on
+  uint64_t sandbox_killed = 0;    ///< deadline/cancel SIGKILLs
+  uint64_t gov_peak_bytes = 0;    ///< governor high-water mark (this process)
+  uint64_t gov_denials = 0;       ///< governor charges refused (this process)
 };
 
 class Service {
@@ -115,6 +152,11 @@ class Service {
                        std::chrono::steady_clock::time_point deadline);
   json::JValue handle_script(const json::JValue& req,
                              std::chrono::steady_clock::time_point deadline);
+  /// Runs the artifact in forked children, applying the retry/resume ladder
+  /// to crashed workers; returns the partial (undecorated) response.
+  json::JValue run_sandboxed(const driver::CompileResult& compiled, RunSetup s,
+                             std::chrono::steady_clock::time_point deadline,
+                             int retries);
   json::JValue error_response(const json::JValue* req, const char* status,
                               const char* code, std::string message);
   void attach_stats(json::JValue& resp);
@@ -122,6 +164,7 @@ class Service {
   ServiceConfig cfg_;
   ArtifactCache cache_;
   CircuitBreaker breaker_;
+  Supervisor supervisor_;
   std::atomic<bool> shutdown_{false};
 
   // Aggregate counters not owned by cache/breaker.
@@ -134,6 +177,8 @@ class Service {
   std::atomic<uint64_t> quarantined_{0};
   std::atomic<uint64_t> bad_requests_{0};
   std::atomic<uint64_t> internal_errors_{0};
+  std::atomic<uint64_t> worker_crashes_{0};
+  std::atomic<uint64_t> worker_retries_{0};
 };
 
 /// Bounded worker pool with load-shedding admission: try_submit returns

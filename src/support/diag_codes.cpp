@@ -32,6 +32,7 @@ const std::vector<DiagCodeInfo> kRegistry = {
   {"E0011", "E00", kService, "malformed service request"},
   {"E0012", "E00", kService, "request exceeds the service admission limits"},
   {"E0013", "E00", kService, "malformed fault-injection plan"},
+  {"E0014", "E00", kService, "worker process died (crashed, killed, or exited before replying)"},
 
   {"E1101", "E11", kLexer,   "unexpected character"},
   {"E1102", "E11", kLexer,   "unterminated string literal"},
@@ -113,6 +114,8 @@ const std::vector<DiagCodeInfo> kRegistry = {
   {"E5003", "E50", kRuntime, "shape guard failed (degraded inference assumption wrong)"},
   {"E5004", "E50", kRuntime, "execution cancelled or request deadline exceeded"},
   {"E5005", "E50", kRuntime, "torn or corrupt checkpoint detected (recovered from an older generation when possible)"},
+  {"E5006", "E50", kRuntime, "memory budget exceeded"},
+  {"E5007", "E50", kRuntime, "invalid matrix dimensions (negative, non-finite, or overflow-prone)"},
 
   {"E6001", "E60", kVerify,  "reference to an undeclared variable"},
   {"E6002", "E60", kVerify,  "compiler temporary used before definition"},

@@ -1,0 +1,65 @@
+#include "support/governor.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace otter::gov {
+
+BudgetExceeded::BudgetExceeded(uint64_t req, uint64_t in_use,
+                               uint64_t limit) noexcept
+    : requested(req), used(in_use), budget(limit) {
+  std::snprintf(msg_, sizeof(msg_),
+                "memory budget exceeded: allocation of %" PRIu64
+                " bytes with %" PRIu64 " already charged against a budget of %"
+                PRIu64 " bytes",
+                req, in_use, limit);
+}
+
+ResourceGovernor& ResourceGovernor::instance() {
+  static ResourceGovernor g;
+  return g;
+}
+
+void ResourceGovernor::charge(uint64_t bytes) {
+  const uint64_t budget = budget_.load(std::memory_order_relaxed);
+  uint64_t now = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (budget != 0 && now > budget) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    denials_.fetch_add(1, std::memory_order_relaxed);
+    throw BudgetExceeded(bytes, now - bytes, budget);
+  }
+  // Advance the high-water mark (racy CAS loop; losers retry).
+  uint64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void ResourceGovernor::release(uint64_t bytes) noexcept {
+  uint64_t prev = used_.load(std::memory_order_relaxed);
+  // Clamp at zero: a buffer charged before a window reset may be released
+  // after one; the ledger must not wrap to 2^64.
+  while (true) {
+    uint64_t next = prev >= bytes ? prev - bytes : 0;
+    if (used_.compare_exchange_weak(prev, next, std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+GovernorStats ResourceGovernor::stats() const {
+  GovernorStats s;
+  s.used = used_.load(std::memory_order_relaxed);
+  s.peak = peak_.load(std::memory_order_relaxed);
+  s.denials = denials_.load(std::memory_order_relaxed);
+  s.budget = budget_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ResourceGovernor::reset_window() {
+  peak_.store(used_.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+  denials_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace otter::gov

@@ -1,0 +1,152 @@
+// Process-wide memory resource governor.
+//
+// otterd runs untrusted scripts whose matrix dimensions are user-controlled:
+// one `zeros(40000)` is a ~12 GB allocation that used to reach the host
+// allocator unchecked and kill the daemon (or the whole machine) with an
+// OOM instead of the offending request. The governor is the accounting
+// layer between the run-time library's buffers and the host allocator:
+// every DMat / interpreter Mat payload is allocated through
+// gov::Accounted<T>, which charges the process-wide ledger and fails a
+// request that exceeds its byte budget with a catchable BudgetExceeded
+// (mapped to the stable E5006 diagnostic at the exception barriers) long
+// before the host OOM killer gets involved.
+//
+// Budgets are installed per run with ScopedBudget. In the sandboxed
+// execution tier (service/sandbox.hpp) the child process runs exactly one
+// request, so "process-wide" *is* "per-request"; under --isolate=none the
+// ledger is shared by every in-flight request and the budget is best-effort
+// (DESIGN.md §17 documents the difference).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace otter::gov {
+
+/// Charge refused: the request's byte budget would be exceeded. Derives
+/// from std::bad_alloc so the existing allocation-failure barriers catch
+/// governor denials and true host OOM through one handler; what() carries
+/// the accounting detail a plain bad_alloc cannot.
+class BudgetExceeded : public std::bad_alloc {
+ public:
+  BudgetExceeded(uint64_t requested, uint64_t used, uint64_t budget) noexcept;
+  [[nodiscard]] const char* what() const noexcept override { return msg_; }
+
+  uint64_t requested = 0;  ///< bytes the denied charge asked for
+  uint64_t used = 0;       ///< bytes charged at the time of denial
+  uint64_t budget = 0;     ///< the budget that was exceeded
+
+ private:
+  char msg_[160];  // preformatted: throwing must not itself allocate
+};
+
+/// Ledger snapshot (all byte counts).
+struct GovernorStats {
+  uint64_t used = 0;      ///< currently charged
+  uint64_t peak = 0;      ///< high-water mark since the last reset_window()
+  uint64_t denials = 0;   ///< charges refused since the last reset_window()
+  uint64_t budget = 0;    ///< active budget (0 = unlimited)
+};
+
+/// The process-wide accounted-allocation ledger. All operations are
+/// lock-free atomics: charge/release sit on the matrix-allocation hot path
+/// of every rank thread.
+class ResourceGovernor {
+ public:
+  static ResourceGovernor& instance();
+
+  /// Installs a budget in bytes (0 = unlimited). Does not disturb the
+  /// current usage count — long-lived objects keep their charges.
+  void set_budget(uint64_t bytes) {
+    budget_.store(bytes, std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t budget() const {
+    return budget_.load(std::memory_order_relaxed);
+  }
+
+  /// Charges `bytes` against the ledger. Throws BudgetExceeded (a
+  /// std::bad_alloc) when a budget is installed and the charge would pass
+  /// it; the ledger is left unchanged on refusal.
+  void charge(uint64_t bytes);
+
+  /// Returns a previous charge. Never throws; clamps at zero so a release
+  /// that outlives a budget reset cannot underflow the ledger.
+  void release(uint64_t bytes) noexcept;
+
+  [[nodiscard]] GovernorStats stats() const;
+
+  /// Starts a fresh observation window: peak := current usage, denials := 0.
+  /// Called at the top of a request so its reported peak is its own.
+  void reset_window();
+
+ private:
+  std::atomic<uint64_t> budget_{0};
+  std::atomic<uint64_t> used_{0};
+  std::atomic<uint64_t> peak_{0};
+  std::atomic<uint64_t> denials_{0};
+};
+
+/// RAII budget scope: installs `bytes` (when nonzero) and a fresh
+/// observation window, restores the previous budget on exit. Zero bytes
+/// installs nothing (the surrounding budget, if any, stays active).
+class ScopedBudget {
+ public:
+  explicit ScopedBudget(uint64_t bytes) : installed_(bytes != 0) {
+    if (installed_) {
+      prev_ = ResourceGovernor::instance().budget();
+      ResourceGovernor::instance().set_budget(bytes);
+      ResourceGovernor::instance().reset_window();
+    }
+  }
+  ~ScopedBudget() {
+    if (installed_) ResourceGovernor::instance().set_budget(prev_);
+  }
+  ScopedBudget(const ScopedBudget&) = delete;
+  ScopedBudget& operator=(const ScopedBudget&) = delete;
+
+ private:
+  bool installed_;
+  uint64_t prev_ = 0;
+};
+
+/// STL allocator that routes through the governor: charge before the host
+/// allocation, release on deallocation. The charge is refunded if the host
+/// allocator itself fails, so the ledger never drifts.
+template <typename T>
+struct Accounted {
+  using value_type = T;
+
+  Accounted() noexcept = default;
+  template <typename U>
+  /* implicit */ Accounted(const Accounted<U>&) noexcept {}  // NOLINT
+
+  T* allocate(std::size_t n) {
+    const uint64_t bytes = static_cast<uint64_t>(n) * sizeof(T);
+    ResourceGovernor::instance().charge(bytes);
+    try {
+      return std::allocator<T>().allocate(n);
+    } catch (...) {
+      ResourceGovernor::instance().release(bytes);
+      throw;
+    }
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    std::allocator<T>().deallocate(p, n);
+    ResourceGovernor::instance().release(static_cast<uint64_t>(n) * sizeof(T));
+  }
+
+  template <typename U>
+  bool operator==(const Accounted<U>&) const noexcept { return true; }
+  template <typename U>
+  bool operator!=(const Accounted<U>&) const noexcept { return false; }
+};
+
+/// The governed buffer type used for matrix payloads throughout the
+/// run-time library and the interpreter.
+using DoubleBuffer = std::vector<double, Accounted<double>>;
+
+}  // namespace otter::gov

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "support/rng.hpp"
@@ -569,6 +570,48 @@ TEST(RtEdge, OutOfRangeElementThrows) {
           throw RtError("match");  // other ranks throw too: keep lockstep
         },
         RtError);
+  });
+}
+
+// ---- dimension validation (E5007) -------------------------------------------
+
+TEST(RtDims, CheckedDimRejectsBadDoubles) {
+  EXPECT_EQ(checked_dim(0.0, "row"), 0u);
+  EXPECT_EQ(checked_dim(42.0, "row"), 42u);
+  const double bad[] = {-1.0, 2.5,
+                        std::numeric_limits<double>::quiet_NaN(),
+                        std::numeric_limits<double>::infinity(),
+                        -std::numeric_limits<double>::infinity(),
+                        9007199254740992.0 /* 2^53 */};
+  for (double v : bad) {
+    try {
+      checked_dim(v, "row");
+      FAIL() << "checked_dim(" << v << ") should have thrown";
+    } catch (const RtError& e) {
+      EXPECT_EQ(e.code, "E5007") << v;
+    }
+  }
+}
+
+TEST(RtDims, CheckExtentsRejectsOverflowingProducts) {
+  check_extents(0, 0);  // empty is fine
+  check_extents(1, kMaxMatrixElements);
+  try {
+    check_extents(kMaxMatrixElements, 2);
+    FAIL() << "overflow-prone extents should have thrown";
+  } catch (const RtError& e) {
+    EXPECT_EQ(e.code, "E5007");
+  }
+}
+
+TEST(RtDims, ConstructorValidatesBeforeAllocating) {
+  run_spmd(ideal(1), 1, [](Comm& c) {
+    try {
+      DMat m(c, kMaxMatrixElements, 8, Dist::RowBlock);
+      FAIL() << "DMat with overflowing extents should have thrown";
+    } catch (const RtError& e) {
+      EXPECT_EQ(e.code, "E5007");
+    }
   });
 }
 

@@ -48,9 +48,14 @@
 //   --no-licm              keep loop-invariant communication in place
 //   --dump-lir=pre-opt|post-opt  print the LIR before or after the
 //                          optimizer and exit (post-opt == --emit=lir)
+//   --mem-mb=N             matrix-memory budget for the run in MiB; past it
+//                          allocations fail with E5006 instead of driving
+//                          the host into swap/OOM (0 = unlimited, the
+//                          default). Travels with --remote requests.
 //   --remote=SOCKET        ship the request to an otterd daemon instead of
 //                          compiling locally (np/machine/opt level/seed/
-//                          fault plan/deadline travel with it)
+//                          fault plan/deadline/mem budget/retries travel
+//                          with it)
 //   --op=ping|stats|shutdown  control request for --remote (no script)
 //   --deadline=SECS        per-request deadline for --remote
 //
@@ -78,6 +83,7 @@
 #include "driver/pipeline.hpp"
 #include "interp/value.hpp"
 #include "service/client.hpp"
+#include "support/governor.hpp"
 #include "support/json.hpp"
 
 namespace {
@@ -122,7 +128,13 @@ struct Options {
   std::string remote;      // otterd socket path; empty = compile locally
   std::string remote_op;   // ping | stats | shutdown (needs --remote)
   double deadline = 0.0;   // remote per-request deadline (0 = server default)
+  double mem_mb = 0.0;     // matrix-memory budget in MiB (0 = unlimited)
 };
+
+/// MiB → bytes for the governor; flag values are validated nonnegative.
+uint64_t mem_budget_bytes(double mem_mb) {
+  return static_cast<uint64_t>(mem_mb * 1024.0 * 1024.0);
+}
 
 int usage() {
   std::cerr <<
@@ -137,6 +149,7 @@ int usage() {
       "              [--lint] [--Werror] [--no-verify-lir] [--no-dse]\n"
       "              [-O0|-O1|-O2] [--no-fuse] [--no-licm]\n"
       "              [--dump-lir=pre-opt|post-opt]\n"
+      "              [--mem-mb=N]\n"
       "              [--remote=SOCKET [--op=ping|stats|shutdown]\n"
       "               [--deadline=SECS]]\n";
   return kExitUsage;
@@ -176,6 +189,10 @@ bool parse_args(int argc, char** argv, Options& o) try {
     else if (auto v = value("--remote=")) o.remote = *v;
     else if (auto v = value("--op=")) o.remote_op = *v;
     else if (auto v = value("--deadline=")) o.deadline = std::stod(*v);
+    else if (auto v = value("--mem-mb=")) {
+      o.mem_mb = std::stod(*v);
+      if (!(o.mem_mb >= 0.0)) return false;  // negative or NaN
+    }
     else if (a == "-O0") o.opt_level = 0;
     else if (a == "-O1") o.opt_level = 1;
     else if (a == "-O2") o.opt_level = 2;
@@ -264,6 +281,8 @@ int run_remote(const Options& opt, const std::string& source) {
     req.set("rand_seed", opt.seed);
     if (!opt.fault_plan.empty()) req.set("fault_plan", opt.fault_plan);
     if (opt.deadline > 0) req.set("deadline", opt.deadline);
+    if (opt.mem_mb > 0) req.set("mem_mb", opt.mem_mb);
+    if (opt.retries > 0) req.set("retries", opt.retries);
     if (!opt.checkpoint_dir.empty()) {
       req.set("checkpoint_dir", opt.checkpoint_dir);
       if (opt.checkpoint > 0)
@@ -331,6 +350,15 @@ int run_remote(const Options& opt, const std::string& source) {
   std::string code = resp->get_string("code", "");
   if (!code.empty()) std::cerr << " [" << code << ']';
   std::cerr << ": " << resp->get_string("message", "") << '\n';
+  // A sandboxed worker's captured stderr — the only debuggable trace a
+  // crashed child leaves behind (assertion text, sanitizer report, ...).
+  std::string wstderr = resp->get_string("worker_stderr", "");
+  if (!wstderr.empty()) {
+    std::cerr << "  worker stderr:\n";
+    std::istringstream ws(wstderr);
+    for (std::string wl; std::getline(ws, wl);)
+      std::cerr << "    " << wl << '\n';
+  }
   if (const json::JValue* failures = resp->get("failures")) {
     for (const json::JValue& f : failures->as_array()) {
       std::cerr << "  rank " << static_cast<long>(f.get_number("rank", -1))
@@ -382,6 +410,7 @@ int main(int argc, char** argv) {
   try {
     if (opt.run == "interp" && opt.emit.empty()) {
       try {
+        otter::gov::ScopedBudget budget(mem_budget_bytes(opt.mem_mb));
         auto run = otter::driver::run_interpreter(source, loader, opt.seed);
         std::cout << run.output;
         if (opt.times) {
@@ -474,6 +503,7 @@ int main(int argc, char** argv) {
     eopts.dist = opt.dist;
     eopts.rand_seed = opt.seed;
     eopts.spmd.watchdog_timeout = opt.timeout;
+    eopts.spmd.mem_budget_bytes = mem_budget_bytes(opt.mem_mb);
     if (!opt.fault_plan.empty()) {
       eopts.spmd.fault = otter::mpi::FaultPlan::parse(opt.fault_plan);
       std::cerr << "otterc: fault plan: " << eopts.spmd.fault.describe()
@@ -498,6 +528,8 @@ int main(int argc, char** argv) {
         return kExitInternal;
       }
       std::ostringstream out;
+      // --run=cc bypasses run_parallel, so the budget is installed here.
+      otter::gov::ScopedBudget budget(eopts.spmd.mem_budget_bytes);
       auto times = otter::mpi::run_spmd(
           profile, opt.np,
           [&](otter::mpi::Comm& comm) { program->run(comm, out, eopts); },

@@ -31,6 +31,16 @@
 //                          at DIR (off by default → E0012)
 //   --checkpoint-mb=N      per-directory checkpoint retention budget
 //                          (default 16)
+//   --isolate=process|none execution tier (default process): each run is
+//                          forked into a short-lived sandbox child so a
+//                          crashing/OOMing script answers E0014/E5006
+//                          instead of killing the daemon. "none" keeps the
+//                          pre-sandbox in-process barriers (faster, shared
+//                          fate — see DESIGN.md §17)
+//   --mem-mb=N             default per-request matrix-memory budget in MiB
+//                          (0 = unlimited); a request's "mem_mb" field
+//                          overrides it. Exceeding it fails the request
+//                          with E5006
 //
 // The daemon exits on SIGINT/SIGTERM or an {"op":"shutdown"} request,
 // draining queued work first. Exit code 0 on clean shutdown, 64 on usage
@@ -78,6 +88,10 @@ struct Options {
     // The daemon is stricter than the library default: fault injection is
     // an explicit opt-in (--allow-fault-injection) on a shared server.
     cfg.allow_fault_plans = false;
+    // And more paranoid: a long-lived shared daemon defaults to the
+    // fork-per-request sandbox; the in-process library default is for
+    // embedders and unit tests.
+    cfg.isolate = otter::service::IsolateMode::Process;
   }
 };
 
@@ -88,7 +102,8 @@ int usage() {
       "              [--max-np=N] [--max-script-kb=N]\n"
       "              [--breaker-threshold=N] [--breaker-cooldown=SECS]\n"
       "              [--allow-fault-injection] [--checkpoint-root=DIR]\n"
-      "              [--checkpoint-mb=N]\n";
+      "              [--checkpoint-mb=N] [--isolate=process|none]\n"
+      "              [--mem-mb=N]\n";
   return kExitUsage;
 }
 
@@ -121,6 +136,18 @@ bool parse_args(int argc, char** argv, Options& o) try {
       o.cfg.checkpoint_root = *v;
     } else if (auto v = value("--checkpoint-mb=")) {
       o.cfg.checkpoint_bytes = std::stoull(*v) << 20;
+    } else if (auto v = value("--isolate=")) {
+      if (*v == "process") {
+        o.cfg.isolate = otter::service::IsolateMode::Process;
+      } else if (*v == "none") {
+        o.cfg.isolate = otter::service::IsolateMode::None;
+      } else {
+        return false;
+      }
+    } else if (auto v = value("--mem-mb=")) {
+      double mb = std::stod(*v);
+      if (!(mb >= 0)) return false;
+      o.cfg.default_mem_bytes = static_cast<uint64_t>(mb * 1024.0 * 1024.0);
     } else {
       return false;
     }
@@ -247,7 +274,11 @@ int main(int argc, char** argv) {
 
   std::cerr << "otterd: listening on " << opt.listen << " (" << opt.workers
             << " workers, queue " << opt.queue << ", cache " << opt.cache_mb
-            << " MB)\n";
+            << " MB, isolate "
+            << (opt.cfg.isolate == otter::service::IsolateMode::Process
+                    ? "process"
+                    : "none")
+            << ")\n";
 
   while (!g_signalled.load() && !svc.shutdown_requested()) {
     pollfd p{listen_fd, POLLIN, 0};
