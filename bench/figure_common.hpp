@@ -36,6 +36,7 @@ struct BenchRecord {
   double seconds = 0;   ///< elapsed seconds (virtual or wall, per bench)
   uint64_t comm_ops = 0;  ///< total communication ops across ranks
   std::string backend;  ///< "generated-c", "executor", "interpreter", ...
+  long guards = -1;     ///< ShapeGuards left in the LIR (-1 = not recorded)
 };
 
 inline std::vector<BenchRecord>& bench_records() {
@@ -84,8 +85,9 @@ inline void write_bench_json() {
         << json_escape(r.machine) << "\", \"p\": " << r.p
         << ", \"size\": " << r.size << ", \"seconds\": " << buf
         << ", \"comm_ops\": " << r.comm_ops << ", \"backend\": \""
-        << json_escape(r.backend) << "\"}" << (i + 1 < rs.size() ? "," : "")
-        << "\n";
+        << json_escape(r.backend) << "\"";
+    if (r.guards >= 0) out << ", \"guards\": " << r.guards;
+    out << "}" << (i + 1 < rs.size() ? "," : "") << "\n";
   }
   out << "]\n";
 }

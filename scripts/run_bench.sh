@@ -6,7 +6,8 @@
 #   build-dir    CMake build tree containing bench/ binaries (default: build)
 #   output.json  aggregated report path (default: BENCH_otter.json)
 #
-# Each record is {bench, machine, p, size, seconds, comm_ops, backend}.
+# Each record is {bench, machine, p, size, seconds, comm_ops, backend} plus
+# an optional guards count (ShapeGuards left in the LIR) where it applies.
 set -euo pipefail
 
 build_dir="${1:-build}"
@@ -20,8 +21,9 @@ fi
 tmp="$(mktemp -d)"
 trap 'rm -rf "${tmp}"' EXIT
 
-benches=(micro_opt micro_checkpoint daemon_throughput daemon_isolation
-         fig2_single_cpu fig3_cg fig4_ocean fig5_nbody fig6_transitive)
+benches=(micro_opt micro_absint micro_checkpoint daemon_throughput
+         daemon_isolation fig2_single_cpu fig3_cg fig4_ocean fig5_nbody
+         fig6_transitive)
 
 for b in "${benches[@]}"; do
   bin="${build_dir}/bench/${b}"

@@ -1,0 +1,96 @@
+// Abstract interpretation over the inference CFG/SSA — the static engine
+// behind three consumers:
+//
+//  * shape-guard elimination: a worklist fixpoint with an integer-interval
+//    domain for scalars and a symbolic-extent domain for matrix dimensions
+//    proves ShapeGuards redundant; the optimizer deletes exactly the proven
+//    ones (and the verifier cross-checks every deletion against a proof,
+//    E6009);
+//  * value-range lint: W3208 (provably out-of-bounds index / provably
+//    invalid constructor extent) and W3209 (provably zero-trip loop);
+//  * SPMD communication safety: W3210 flags communication ops that are
+//    control-dependent on rank-divergent predicates (values derived from
+//    rank()) — on a real machine those deadlock or exchange mismatched
+//    messages.
+//
+// Everything here is a *may*-analysis used only for must-facts: a finding
+// or a proof is emitted only when the property holds on every execution the
+// domains can represent, so eliminating a proven guard never changes
+// program behaviour and W3208/W3209 never fire on a feasible run.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "frontend/ast.hpp"
+#include "lower/lir.hpp"
+#include "lower/opt.hpp"
+#include "sema/infer.hpp"
+#include "support/diag.hpp"
+
+namespace otter::analysis {
+
+/// Closed interval over doubles with an integrality flag. The bounds may be
+/// ±inf; `integral` means every concrete value the interval stands for is a
+/// whole number (loop counters, extents, rank()).
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool integral = false;
+
+  static Interval top();
+  static Interval constant(double v);
+  static Interval range(double lo, double hi, bool integral);
+
+  [[nodiscard]] bool is_const() const;
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// Lattice join (interval hull).
+Interval join(const Interval& a, const Interval& b);
+
+/// Widening at loop-head phis: a bound that moved since the previous
+/// iteration jumps straight to ±inf so the fixpoint terminates.
+Interval widen(const Interval& prev, const Interval& next);
+
+// Interval arithmetic (sound over-approximations; NaN-producing corner
+// cases like 0 * inf degrade to top).
+Interval iadd(const Interval& a, const Interval& b);
+Interval isub(const Interval& a, const Interval& b);
+Interval imul(const Interval& a, const Interval& b);
+Interval ineg(const Interval& a);
+
+/// One analysis finding (W3208/W3209/W3210), carrying the *original* source
+/// location of the offending expression — findings are computed on the
+/// pre-optimizer program, so statement-rewriting passes can never detach
+/// them from their source line.
+struct AbsFinding {
+  std::string code;
+  SourceLoc loc;
+  std::string message;
+};
+
+struct AbsintResult {
+  /// Guards proven redundant on every path of every instance (input to the
+  /// optimizer's guard-elimination pass).
+  std::vector<lower::GuardProof> proofs;
+  /// W3208/W3209/W3210 findings, sorted by location, deduplicated.
+  std::vector<AbsFinding> findings;
+  /// ShapeGuards inference requested in total (denominator for reporting).
+  size_t guards_total = 0;
+};
+
+/// Runs the abstract interpreter over the whole program: the interval /
+/// symbolic-extent fixpoint on the script and every function instance, then
+/// the rank-divergence taint pass over the (pre-optimizer) LIR.
+AbsintResult run_absint(const Program& prog, const sema::InferResult& inf,
+                        const lower::LProgram& lir);
+
+/// Reports every finding through `diags` (as errors under --Werror);
+/// returns the number reported.
+size_t report_absint(const AbsintResult& r, DiagEngine& diags,
+                     bool werror = false);
+
+}  // namespace otter::analysis

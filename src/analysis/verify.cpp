@@ -535,4 +535,28 @@ size_t verify_lir(const lower::LProgram& lir, DiagEngine& diags) {
   return Verifier(lir, diags).run();
 }
 
+size_t verify_guard_elimination(const lower::OptReport& report,
+                                const std::vector<lower::GuardProof>& proofs,
+                                DiagEngine& diags) {
+  size_t violations = 0;
+  for (const lower::GuardProof& g : report.guards_eliminated) {
+    bool matched = false;
+    for (const lower::GuardProof& p : proofs) {
+      if (p.loc.line == g.loc.line && p.loc.col == g.loc.col &&
+          p.builtin == g.builtin) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      ++violations;
+      diags.error("E6009", g.loc,
+                  "shape guard for '" + g.builtin +
+                      "' was deleted without an abstract-interpretation "
+                      "proof that it cannot fire");
+    }
+  }
+  return violations;
+}
+
 }  // namespace otter::analysis

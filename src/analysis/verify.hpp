@@ -16,9 +16,12 @@
 //   E6007  malformed owner-guarded element write
 //   E6008  missing or malformed expression tree (elemwise/scalar trees,
 //          ragged matrix literals)
+//   E6009  shape guard deleted without a matching abstract-interpretation
+//          proof (optimizer and analyzer disagree about a guard)
 #pragma once
 
 #include "lower/lir.hpp"
+#include "lower/opt.hpp"
 #include "support/diag.hpp"
 
 namespace otter::analysis {
@@ -26,5 +29,13 @@ namespace otter::analysis {
 /// Verifies every scope of a lowered program. Reports each violation
 /// through `diags` (as errors) and returns the number of violations.
 size_t verify_lir(const lower::LProgram& lir, DiagEngine& diags);
+
+/// Cross-checks the optimizer's guard-elimination record against the
+/// analyzer's proof list: every deleted ShapeGuard must match a proof by
+/// source position and builtin name. Violations are E6009 errors; returns
+/// the number found.
+size_t verify_guard_elimination(const lower::OptReport& report,
+                                const std::vector<lower::GuardProof>& proofs,
+                                DiagEngine& diags);
 
 }  // namespace otter::analysis

@@ -113,6 +113,10 @@ class Executor {
         ++rand_seq_;
         return g.next();
       }
+      case LExpr::Kind::RankId:
+        return static_cast<double>(comm_.rank());
+      case LExpr::Kind::NProcs:
+        return static_cast<double>(comm_.size());
     }
     return 0.0;
   }

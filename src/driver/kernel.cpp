@@ -62,7 +62,9 @@ struct Builder {
       case LExpr::Kind::ScalarVar:
       case LExpr::Kind::RowsOf:
       case LExpr::Kind::ColsOf:
-      case LExpr::Kind::NumelOf: {
+      case LExpr::Kind::NumelOf:
+      case LExpr::Kind::RankId:    // constant for the whole run: slot-safe
+      case LExpr::Kind::NProcs: {
         KOp op;
         op.k = KOp::K::PushScalar;
         op.slot = static_cast<uint16_t>(k.scalars.size());

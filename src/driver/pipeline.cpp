@@ -45,14 +45,25 @@ std::unique_ptr<CompileResult> compile_script(const std::string& source,
   lower::LowerOptions lopts = opts.lower;
   lopts.budget = &gate;
   r->lir = lower::lower_program(r->prog, r->inf, r->diags, lopts);
+  // Abstract interpretation runs on the *pre-optimizer* program: findings
+  // keep their original source locations no matter what the optimizer
+  // rewrites later, and guard proofs feed the -O2 elimination pass.
+  bool elim = opts.opt.level >= 2 && opts.opt.guard_elim;
+  if (!r->diags.has_errors() && (opts.analyze || elim)) {
+    r->absint = analysis::run_absint(r->prog, r->inf, r->lir);
+  }
   if (!r->diags.has_errors() && opts.opt.level > 0) {
     if (opts.keep_preopt) r->preopt_lir = lower::dump_lir(r->lir);
-    r->opt_report = lower::run_opt(r->lir, opts.opt);
+    lower::OptOptions oo = opts.opt;
+    oo.guard_proofs = r->absint.proofs;
+    r->opt_report = lower::run_opt(r->lir, oo);
   }
   // Structural self-check on what will actually run (post-optimizer): any
   // E6xxx report here is a compiler bug made visible, not a user error.
   if (opts.verify_lir && !r->diags.has_errors()) {
     analysis::verify_lir(r->lir, r->diags);
+    analysis::verify_guard_elimination(r->opt_report, r->absint.proofs,
+                                       r->diags);
   }
   r->ok = !r->diags.has_errors();
   return r;

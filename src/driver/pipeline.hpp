@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 
+#include "analysis/absint.hpp"
 #include "driver/exec.hpp"
 #include "frontend/parser.hpp"
 #include "lower/lower.hpp"
@@ -24,6 +25,11 @@ struct CompileResult {
   lower::LProgram lir;            ///< post-optimizer LIR (what runs)
   std::string preopt_lir;         ///< dump before run_opt (keep_preopt only)
   lower::OptReport opt_report;    ///< what the optimizer did (empty at -O0)
+  /// Abstract-interpretation results (guard proofs + W3208-W3210 findings).
+  /// Populated when `analyze` is set or guard elimination ran at -O2; the
+  /// pipeline never reports the findings itself — tools decide via
+  /// analysis::report_absint.
+  analysis::AbsintResult absint;
   bool ok = false;
 };
 
@@ -37,6 +43,7 @@ struct CompileOptions {
   size_t max_errors = 0;     ///< cap stored error diagnostics (0 = unlimited)
   bool verify_lir = true;    ///< run the structural LIR verifier (post-opt)
   bool keep_preopt = false;  ///< record the pre-optimizer dump (--dump-lir)
+  bool analyze = false;      ///< run absint even when guard-elim would not
   std::string source_name = "<script>";  ///< buffer name for diagnostics
 };
 

@@ -44,6 +44,8 @@ constexpr std::array kBuiltins = {
     BuiltinInfo{Builtin::Num2str, "num2str", 1, 1, 1, false},
     BuiltinInfo{Builtin::ErrorFn, "error", 1, 1, 0, false},
     BuiltinInfo{Builtin::Load, "load", 1, 1, 1, false},
+    BuiltinInfo{Builtin::RankId, "rank", 0, 0, 1, false},
+    BuiltinInfo{Builtin::NProcs, "nprocs", 0, 0, 1, false},
     BuiltinInfo{Builtin::Pi, "pi", 0, 0, 1, false},
     BuiltinInfo{Builtin::Eps, "eps", 0, 0, 1, false},
     BuiltinInfo{Builtin::InfConst, "Inf", 0, 0, 1, false},

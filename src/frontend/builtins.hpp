@@ -23,6 +23,9 @@ enum class Builtin : uint8_t {
   Real, Imag, Conj,
   // I/O and misc
   Disp, Fprintf, Num2str, ErrorFn, Load,
+  // SPMD queries (replicated per-rank integers; rank() is the one value
+  // that legitimately differs across ranks)
+  RankId, NProcs,
   // constants
   Pi, Eps, InfConst, NanConst, ImagUnit,
 };

@@ -395,6 +395,12 @@ std::vector<Value> Interp::call_builtin(const BuiltinInfo& info,
       m->re.assign(mf->data.begin(), mf->data.end());
       return {simplify(Value(std::move(m)))};
     }
+    case Builtin::RankId:
+      // The baseline interpreter is a single-CPU oracle: it models rank 0
+      // of a 1-rank world (compiled runs only match it at np=1).
+      return {Value(0.0)};
+    case Builtin::NProcs:
+      return {Value(1.0)};
     case Builtin::Pi:
       return {Value(std::numbers::pi)};
     case Builtin::Eps:

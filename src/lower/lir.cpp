@@ -137,6 +137,8 @@ void dump_lexpr_to(const LExpr& e, std::ostream& os) {
     case LExpr::Kind::ColsOf: os << "cols(" << e.var << ')'; break;
     case LExpr::Kind::NumelOf: os << "numel(" << e.var << ')'; break;
     case LExpr::Kind::RandScalar: os << "rand()"; break;
+    case LExpr::Kind::RankId: os << "rank()"; break;
+    case LExpr::Kind::NProcs: os << "nprocs()"; break;
   }
 }
 

@@ -45,6 +45,8 @@ struct LExpr {
     ColsOf,     // cols(var)
     NumelOf,    // numel(var)
     RandScalar, // replicated scalar rand draw (advances the shared sequence)
+    RankId,     // this rank's id (the one per-rank-divergent leaf)
+    NProcs,     // number of ranks (replicated, identical everywhere)
   };
   Kind kind = Kind::Imm;
   double imm = 0.0;

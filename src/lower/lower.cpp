@@ -257,6 +257,16 @@ class Lowerer {
       r->kind = LExpr::Kind::RandScalar;
       return r;
     }
+    if (e.name == "rank") {
+      auto r = std::make_unique<LExpr>();
+      r->kind = LExpr::Kind::RankId;
+      return r;
+    }
+    if (e.name == "nprocs") {
+      auto r = std::make_unique<LExpr>();
+      r->kind = LExpr::Kind::NProcs;
+      return r;
+    }
     if (e.name == "i" || e.name == "j") {
       err("E4001", e.loc, "complex values are not supported by the Otter parallel "
                  "run-time (interpreter only)");
@@ -480,6 +490,16 @@ class Lowerer {
       case Builtin::Rand: {
         auto r = std::make_unique<LExpr>();
         r->kind = LExpr::Kind::RandScalar;
+        return r;
+      }
+      case Builtin::RankId: {
+        auto r = std::make_unique<LExpr>();
+        r->kind = LExpr::Kind::RankId;
+        return r;
+      }
+      case Builtin::NProcs: {
+        auto r = std::make_unique<LExpr>();
+        r->kind = LExpr::Kind::NProcs;
         return r;
       }
       default:

@@ -788,6 +788,55 @@ class Licm {
   OptReport& rep_;
 };
 
+// -- proof-backed shape-guard elimination -------------------------------------
+
+/// Deletes ShapeGuard instructions the abstract interpreter proved can never
+/// fire. The pass is deliberately dumb: it only matches each guard against
+/// the proof list by (line, col, builtin) and records what it deleted, so
+/// the verifier can later check every deletion against a proof (E6009). The
+/// reasoning all lives in analysis/absint.cpp.
+class GuardElim {
+ public:
+  GuardElim(OptReport& rep, const std::vector<GuardProof>& proofs, bool del)
+      : rep_(rep), proofs_(proofs), delete_(del) {}
+
+  void run(std::vector<LInstrPtr>& body) { walk(body); }
+
+ private:
+  static std::string builtin_of(const LInstr& in) {
+    return in.args.size() > 1 && in.args[1].is_string ? in.args[1].str : "";
+  }
+
+  bool proven(const LInstr& in) const {
+    for (const GuardProof& p : proofs_) {
+      if (p.loc.line == in.loc.line && p.loc.col == in.loc.col &&
+          p.builtin == builtin_of(in)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void walk(std::vector<LInstrPtr>& body) {
+    for (size_t i = 0; i < body.size(); ++i) {
+      LInstr& in = *body[i];
+      for (LIfArm& arm : in.arms) walk(arm.body);
+      if (!in.body.empty()) walk(in.body);
+      if (in.op != LOp::ShapeGuard) continue;
+      ++rep_.guards_seen;
+      if (delete_ && proven(in)) {
+        rep_.guards_eliminated.push_back({in.loc, builtin_of(in)});
+        body.erase(body.begin() + static_cast<ptrdiff_t>(i));
+        --i;
+      }
+    }
+  }
+
+  OptReport& rep_;
+  const std::vector<GuardProof>& proofs_;
+  bool delete_;
+};
+
 // -- unread-definition sweep --------------------------------------------------
 
 /// Conservative cleanup: removes pure definitions whose target no
@@ -841,6 +890,9 @@ OptReport run_opt(LProgram& prog, const OptOptions& opts) {
     if (full && opts.cse) CommCse(rep).run(body);
     if (full && opts.fuse) Fuser(rep, body, protect).run();
     if (full && opts.licm) Licm(rep).run(body);
+    // Guard elimination runs before the final copy-prop/sweep so a guard
+    // whose matrix becomes otherwise-unread frees that definition too.
+    GuardElim(rep, opts.guard_proofs, full && opts.guard_elim).run(body);
     if (opts.copyprop) CopyProp(rep).run(body);
     rep.swept += sweep_scope(body, protect);
   };

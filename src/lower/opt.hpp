@@ -16,15 +16,29 @@
 
 namespace otter::lower {
 
+/// One shape guard the abstract interpreter proved redundant. The optimizer
+/// matches proofs to ShapeGuard instructions by source position + builtin
+/// name; it never decides redundancy itself (lower must not depend on
+/// analysis, so the proof arrives as plain data).
+struct GuardProof {
+  SourceLoc loc;        ///< location of the guarded reduction call
+  std::string builtin;  ///< builtin name carried by the guard ("sum", ...)
+};
+
 /// Optimizer configuration. Levels: 0 disables everything, 1 enables copy
 /// propagation and the unread-definition sweep, 2 (the compiler default)
-/// adds element-wise fusion, communication CSE, and communication LICM.
+/// adds element-wise fusion, communication CSE, communication LICM, and
+/// proof-backed shape-guard elimination.
 struct OptOptions {
   int level = 2;
   bool fuse = true;      ///< cross-statement element-wise fusion (level >= 2)
   bool licm = true;      ///< hoist loop-invariant communication (level >= 2)
   bool cse = true;       ///< merge duplicate communication calls (level >= 2)
   bool copyprop = true;  ///< propagate through CopyMat chains (level >= 1)
+  bool guard_elim = true;  ///< delete proven ShapeGuards (level >= 2)
+  /// Guards the abstract interpreter proved can never fire (see
+  /// analysis/absint.hpp). Only guards matching an entry here are deleted.
+  std::vector<GuardProof> guard_proofs;
 };
 
 /// What the optimizer did: counters for tests/benches, plus one record per
@@ -41,9 +55,14 @@ struct OptReport {
   size_t cse_removed = 0;        ///< duplicate communication calls replaced
   size_t copies_propagated = 0;  ///< reads redirected through CopyMat sources
   size_t swept = 0;              ///< unread pure definitions removed
+  size_t guards_seen = 0;        ///< ShapeGuard instructions in the input LIR
+  /// Guards deleted because an absint proof matched; the verifier
+  /// cross-checks each entry against the proof list (E6009).
+  std::vector<GuardProof> guards_eliminated;
 
   [[nodiscard]] size_t total() const {
-    return hoists.size() + fused + cse_removed + copies_propagated + swept;
+    return hoists.size() + fused + cse_removed + copies_propagated + swept +
+           guards_eliminated.size();
   }
 };
 

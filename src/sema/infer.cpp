@@ -429,6 +429,9 @@ class Inferencer {
       return Ty::scalar(BaseType::Real);
     }
     if (e.name == "rand") return Ty::scalar(BaseType::Real);
+    if (e.name == "rank" || e.name == "nprocs") {
+      return Ty::scalar(BaseType::Integer);
+    }
     return Ty::scalar(BaseType::Real);
   }
 
@@ -825,6 +828,9 @@ class Inferencer {
       }
       case Builtin::Num2str:
         return {Ty::scalar(BaseType::Literal)};
+      case Builtin::RankId:
+      case Builtin::NProcs:
+        return {Ty::scalar(BaseType::Integer)};
       case Builtin::Pi:
       case Builtin::Eps:
       case Builtin::InfConst:

@@ -125,6 +125,7 @@ const std::vector<DiagCodeInfo> kRegistry = {
   {"E6006", "E60", kVerify,  "malformed user-function call"},
   {"E6007", "E60", kVerify,  "malformed owner-guarded element write"},
   {"E6008", "E60", kVerify,  "missing or malformed expression tree"},
+  {"E6009", "E60", kVerify,  "shape guard deleted without an abstract-interpretation proof"},
 
   {"W3201", "W32", kLint,    "use before definition on some path"},
   {"W3202", "W32", kLint,    "dead store (value overwritten before being read)"},
@@ -133,6 +134,9 @@ const std::vector<DiagCodeInfo> kRegistry = {
   {"W3205", "W32", kLint,    "constant branch condition"},
   {"W3206", "W32", kLint,    "variable shadows a builtin function"},
   {"W3207", "W32", kLint,    "loop-invariant communication (hoistable run-time call)"},
+  {"W3208", "W32", kLint,    "provably out-of-bounds index or invalid extent"},
+  {"W3209", "W32", kLint,    "provably zero-trip loop"},
+  {"W3210", "W32", kLint,    "collective communication under a rank-divergent condition"},
 };
 // clang-format on
 

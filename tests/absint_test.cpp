@@ -1,0 +1,388 @@
+// Abstract-interpretation engine tests: the interval domain (join, widen,
+// arithmetic), symbolic-extent propagation through constructors and size(),
+// shape-guard proofs and the -O2 elimination they license (including the
+// E6009 verifier cross-check), W3208/W3209/W3210 positives and negatives,
+// preservation of original source locations through the optimizer, and the
+// dynamic confirmation that a W3210-flagged script really deadlocks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "analysis/absint.hpp"
+#include "analysis/verify.hpp"
+#include "driver/pipeline.hpp"
+
+namespace otter::analysis {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// -- interval domain ----------------------------------------------------------
+
+TEST(Interval, JoinIsHull) {
+  Interval a = Interval::range(1, 3, true);
+  Interval b = Interval::range(2, 7, true);
+  Interval j = join(a, b);
+  EXPECT_EQ(j.lo, 1);
+  EXPECT_EQ(j.hi, 7);
+  EXPECT_TRUE(j.integral);
+}
+
+TEST(Interval, JoinDropsIntegralityWhenEitherSideDoes) {
+  Interval j = join(Interval::constant(1.0), Interval::range(0, 2, false));
+  EXPECT_FALSE(j.integral);
+}
+
+TEST(Interval, WidenJumpsMovedBoundsToInfinity) {
+  Interval prev = Interval::range(0, 10, true);
+  // Upper bound grew: it widens to +inf; the stable lower bound stays.
+  Interval w = widen(prev, Interval::range(0, 11, true));
+  EXPECT_EQ(w.lo, 0);
+  EXPECT_EQ(w.hi, kInf);
+  // Lower bound shrank: it widens to -inf.
+  w = widen(prev, Interval::range(-1, 10, true));
+  EXPECT_EQ(w.lo, -kInf);
+  EXPECT_EQ(w.hi, 10);
+  // Nothing moved: widening is the identity.
+  w = widen(prev, prev);
+  EXPECT_EQ(w.lo, 0);
+  EXPECT_EQ(w.hi, 10);
+}
+
+TEST(Interval, ArithmeticIsSound) {
+  Interval a = Interval::range(1, 3, true);
+  Interval b = Interval::range(-2, 5, true);
+  Interval s = iadd(a, b);
+  EXPECT_EQ(s.lo, -1);
+  EXPECT_EQ(s.hi, 8);
+  EXPECT_TRUE(s.integral);
+  Interval d = isub(a, b);
+  EXPECT_EQ(d.lo, -4);
+  EXPECT_EQ(d.hi, 5);
+  Interval m = imul(a, b);
+  EXPECT_EQ(m.lo, -6);
+  EXPECT_EQ(m.hi, 15);
+  Interval n = ineg(b);
+  EXPECT_EQ(n.lo, -5);
+  EXPECT_EQ(n.hi, 2);
+}
+
+TEST(Interval, MulZeroTimesInfinityDegradesToTop) {
+  Interval m = imul(Interval::constant(0.0), Interval::range(0, kInf, true));
+  EXPECT_EQ(m.lo, -kInf);
+  EXPECT_EQ(m.hi, kInf);
+}
+
+// -- whole-program helpers ----------------------------------------------------
+
+std::unique_ptr<driver::CompileResult> compile(const std::string& src,
+                                               int level = 2,
+                                               bool analyze = true) {
+  driver::CompileOptions copts;
+  copts.opt.level = level;
+  copts.analyze = analyze;
+  auto r = driver::compile_script(src, {}, copts);
+  EXPECT_TRUE(r->ok) << r->diags.to_string();
+  return r;
+}
+
+bool has_finding(const AbsintResult& r, const std::string& code,
+                 uint32_t line = 0) {
+  for (const AbsFinding& f : r.findings) {
+    if (f.code != code) continue;
+    if (line != 0 && f.loc.line != line) continue;
+    return true;
+  }
+  return false;
+}
+
+std::string findings_str(const AbsintResult& r) {
+  std::string s;
+  for (const AbsFinding& f : r.findings) {
+    s += f.code + " at " + std::to_string(f.loc.line) + ":" +
+         std::to_string(f.loc.col) + ": " + f.message + "\n";
+  }
+  return s.empty() ? "(no findings)" : s;
+}
+
+// An unprovable-shape reduction: the extents can each be 1, so A may be a
+// 1 x m row vector at run time — the guard must survive.
+const char* kUnprovable = R"(n = floor(rand * 8) + 1;
+m = floor(rand * 8) + 1;
+A = zeros(n, m);
+s = sum(sum(A));
+disp(s)
+)";
+
+// A provable one: zeros(n, n) is square by symbolic identity even though n
+// is unknown, and a square matrix can never trip the vector check.
+const char* kProvable = R"(n = floor(rand * 8) + 2;
+A = zeros(n, n);
+s = sum(sum(A));
+disp(s)
+)";
+
+// -- symbolic extents and guard proofs ----------------------------------------
+
+TEST(Absint, SquareConstructorProvesGuard) {
+  auto r = compile(kProvable);
+  EXPECT_EQ(r->absint.guards_total, 1u);
+  ASSERT_EQ(r->absint.proofs.size(), 1u) << findings_str(r->absint);
+  EXPECT_EQ(r->absint.proofs[0].builtin, "sum");
+}
+
+TEST(Absint, RectangularUnknownShapeIsNotProven) {
+  auto r = compile(kUnprovable);
+  EXPECT_EQ(r->absint.guards_total, 1u);
+  EXPECT_TRUE(r->absint.proofs.empty());
+}
+
+TEST(Absint, ProvablyWideMatrixProvesGuard) {
+  // Both extents >= 2: the "is it a vector" guard cannot fire regardless of
+  // the exact sizes.
+  auto r = compile(R"(n = floor(rand * 8) + 2;
+m = floor(rand * 8) + 3;
+A = zeros(n, m);
+s = sum(sum(A));
+disp(s)
+)");
+  EXPECT_EQ(r->absint.guards_total, 1u);
+  EXPECT_EQ(r->absint.proofs.size(), 1u);
+}
+
+TEST(Absint, SizePropagatesSymbolicExtent) {
+  // B is built from size(A, 1) twice: symbolically square, so the guard on
+  // sum(B) is proven even though A's extent is unknown.
+  auto r = compile(R"(n = floor(rand * 8) + 2;
+m = floor(rand * 8) + 2;
+A = zeros(n, m);
+k = size(A, 1);
+B = zeros(k, k);
+s = sum(sum(B));
+disp(s)
+)");
+  EXPECT_EQ(r->absint.guards_total, 1u);
+  EXPECT_EQ(r->absint.proofs.size(), 1u) << findings_str(r->absint);
+}
+
+// -- guard elimination at -O2 -------------------------------------------------
+
+TEST(GuardElim, ProvenGuardIsDeletedAtO2) {
+  auto r = compile(kProvable, 2);
+  EXPECT_EQ(r->opt_report.guards_seen, 1u);
+  ASSERT_EQ(r->opt_report.guards_eliminated.size(), 1u);
+  EXPECT_EQ(r->opt_report.guards_eliminated[0].builtin, "sum");
+  EXPECT_EQ(lower::dump_lir(r->lir).find("ML_shape_check"), std::string::npos);
+}
+
+TEST(GuardElim, UnprovenGuardSurvivesAtO2) {
+  auto r = compile(kUnprovable, 2);
+  EXPECT_EQ(r->opt_report.guards_seen, 1u);
+  EXPECT_TRUE(r->opt_report.guards_eliminated.empty());
+  EXPECT_NE(lower::dump_lir(r->lir).find("ML_shape_check"), std::string::npos);
+}
+
+TEST(GuardElim, NothingHappensAtO0) {
+  auto r = compile(kProvable, 0);
+  EXPECT_EQ(r->opt_report.guards_seen, 0u);
+  EXPECT_TRUE(r->opt_report.guards_eliminated.empty());
+  EXPECT_NE(lower::dump_lir(r->lir).find("ML_shape_check"), std::string::npos);
+}
+
+TEST(GuardElim, EliminationPreservesOutput) {
+  driver::ExecOptions eopts;
+  auto o0 = compile(kProvable, 0);
+  auto o2 = compile(kProvable, 2);
+  auto r0 = driver::run_parallel(o0->lir, mpi::profile_by_name("ideal"), 2,
+                                 eopts);
+  auto r2 = driver::run_parallel(o2->lir, mpi::profile_by_name("ideal"), 2,
+                                 eopts);
+  EXPECT_EQ(r0.output, r2.output);
+}
+
+TEST(GuardElim, VerifierRejectsDeletionWithoutProof) {
+  lower::OptReport rep;
+  rep.guards_eliminated.push_back({SourceLoc{1, 4, 5}, "sum"});
+  DiagEngine diags;
+  EXPECT_EQ(verify_guard_elimination(rep, {}, diags), 1u);
+  ASSERT_EQ(diags.diagnostics().size(), 1u);
+  EXPECT_EQ(diags.diagnostics()[0].code, "E6009");
+
+  // A matching proof makes the same record legal.
+  DiagEngine clean;
+  std::vector<lower::GuardProof> proofs = {{SourceLoc{1, 4, 5}, "sum"}};
+  EXPECT_EQ(verify_guard_elimination(rep, proofs, clean), 0u);
+}
+
+// -- W3208: provable out-of-bounds --------------------------------------------
+
+TEST(W3208, FlagsConstantOutOfRangeIndex) {
+  auto r = compile("A = zeros(4, 4);\nx = A(5, 2);\ndisp(x)\n");
+  EXPECT_TRUE(has_finding(r->absint, "W3208", 2)) << findings_str(r->absint);
+}
+
+TEST(W3208, FlagsIndexedWriteOutOfRange) {
+  auto r = compile("A = zeros(4, 4);\nA(2, 6) = 1;\ndisp(A(1, 1))\n");
+  EXPECT_TRUE(has_finding(r->absint, "W3208", 2)) << findings_str(r->absint);
+}
+
+TEST(W3208, FlagsZeroIndexThroughLinearIndexing) {
+  auto r = compile("m = zeros(3, 1);\ny = m(0);\ndisp(y)\n");
+  EXPECT_TRUE(has_finding(r->absint, "W3208", 2)) << findings_str(r->absint);
+}
+
+TEST(W3208, FlagsProvablyNegativeExtent) {
+  auto r = compile("n = -2;\nA = zeros(n, 3);\ndisp(1)\n");
+  EXPECT_TRUE(has_finding(r->absint, "W3208", 2)) << findings_str(r->absint);
+}
+
+TEST(W3208, LoopBoundedIndexIsClean) {
+  auto r = compile(R"(A = zeros(4, 4);
+for i = 1:4
+  A(i, i) = i;
+end
+disp(A(2, 2))
+)");
+  EXPECT_FALSE(has_finding(r->absint, "W3208")) << findings_str(r->absint);
+}
+
+TEST(W3208, UnknownExtentIsClean) {
+  // The index may or may not be in range: a may-analysis must stay silent.
+  auto r = compile(R"(n = floor(rand * 8) + 1;
+A = zeros(n, n);
+x = A(1, 1);
+disp(x)
+)");
+  EXPECT_FALSE(has_finding(r->absint, "W3208")) << findings_str(r->absint);
+}
+
+// -- W3209: provably zero-trip loops ------------------------------------------
+
+TEST(W3209, FlagsEmptyAscendingRange) {
+  auto r = compile("s = 0;\nfor k = 10:2\n  s = s + k;\nend\ndisp(s)\n");
+  EXPECT_TRUE(has_finding(r->absint, "W3209", 2)) << findings_str(r->absint);
+}
+
+TEST(W3209, FlagsEmptyDescendingRange) {
+  auto r = compile("s = 0;\nfor k = 2:-1:10\n  s = s + k;\nend\ndisp(s)\n");
+  EXPECT_TRUE(has_finding(r->absint, "W3209", 2)) << findings_str(r->absint);
+}
+
+TEST(W3209, NormalLoopIsClean) {
+  auto r = compile("s = 0;\nfor k = 1:10\n  s = s + k;\nend\ndisp(s)\n");
+  EXPECT_FALSE(has_finding(r->absint, "W3209")) << findings_str(r->absint);
+}
+
+TEST(W3209, UnknownBoundIsClean) {
+  auto r = compile(
+      "n = floor(rand * 4);\ns = 0;\nfor k = 1:n\n  s = s + k;\nend\n"
+      "disp(s)\n");
+  EXPECT_FALSE(has_finding(r->absint, "W3209")) << findings_str(r->absint);
+}
+
+// -- W3210: rank-divergent communication --------------------------------------
+
+const char* kDivergent = R"(A = rand(6, 6);
+if rank() == 0
+  B = A * A;
+  disp(B(1, 1))
+end
+disp(A(2, 2))
+)";
+
+TEST(W3210, FlagsCollectiveUnderRankBranch) {
+  auto r = compile(kDivergent);
+  EXPECT_TRUE(has_finding(r->absint, "W3210", 3)) << findings_str(r->absint);
+  // The message names the divergent branch's line so the user can find the
+  // predicate, not just the collective.
+  for (const AbsFinding& f : r->absint.findings) {
+    if (f.code == "W3210" && f.loc.line == 3) {
+      EXPECT_NE(f.message.find("line 2"), std::string::npos) << f.message;
+    }
+  }
+}
+
+TEST(W3210, FlagsTaintedDataFlowIntoControl) {
+  // The divergent value flows through arithmetic into a loop bound.
+  auto r = compile(R"(A = rand(6, 6);
+r = rank() * 2 + 1;
+for i = 1:r
+  s = sum(sum(A));
+  disp(s)
+end
+)");
+  EXPECT_TRUE(has_finding(r->absint, "W3210")) << findings_str(r->absint);
+}
+
+TEST(W3210, UniformControlIsClean) {
+  auto r = compile(R"(A = rand(6, 6);
+n = 3;
+if n > 2
+  s = sum(sum(A));
+  disp(s)
+end
+)");
+  EXPECT_FALSE(has_finding(r->absint, "W3210")) << findings_str(r->absint);
+}
+
+TEST(W3210, NprocsIsNotDivergent) {
+  // nprocs() is replicated-identical on every rank: branching on it keeps
+  // the ranks in lockstep.
+  auto r = compile(R"(A = rand(6, 6);
+if nprocs() > 1
+  s = sum(sum(A));
+  disp(s)
+end
+)");
+  EXPECT_FALSE(has_finding(r->absint, "W3210")) << findings_str(r->absint);
+}
+
+TEST(W3210, StaticallyFlaggedScriptDeadlocksAtRuntime) {
+  // The dynamic confirmation of the static claim: at np = 2 only rank 0
+  // enters the collective, and the executor's deadlock detector trips.
+  auto r = compile(kDivergent);
+  ASSERT_TRUE(has_finding(r->absint, "W3210"));
+  try {
+    driver::run_parallel(r->lir, mpi::profile_by_name("ideal"), 2, {});
+    FAIL() << "expected the rank-divergent collective to deadlock";
+  } catch (const mpi::SpmdFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("deadlock"), std::string::npos)
+        << e.what();
+  }
+}
+
+// -- location preservation (statement-rewriting passes) -----------------------
+
+TEST(Locations, FindingsKeepOriginalLocsThroughOptimizer) {
+  // The faulty read's result is dead, so -O2 sweeps the statement from the
+  // LIR entirely; the finding must still point at the original line and
+  // column because the analysis ran before the rewrite.
+  const char* src = R"(A = zeros(4, 4);
+x = A(5, 2);
+disp(A(1, 1))
+)";
+  auto o0 = compile(src, 0);
+  auto o2 = compile(src, 2);
+  ASSERT_TRUE(has_finding(o0->absint, "W3208", 2)) << findings_str(o0->absint);
+  ASSERT_TRUE(has_finding(o2->absint, "W3208", 2)) << findings_str(o2->absint);
+  ASSERT_EQ(o0->absint.findings.size(), o2->absint.findings.size());
+  for (size_t i = 0; i < o0->absint.findings.size(); ++i) {
+    EXPECT_EQ(o0->absint.findings[i].loc.line, o2->absint.findings[i].loc.line);
+    EXPECT_EQ(o0->absint.findings[i].loc.col, o2->absint.findings[i].loc.col);
+  }
+}
+
+TEST(Locations, EveryFindingCarriesAValidLoc) {
+  auto r = compile(
+      "A = zeros(4, 4);\nx = A(5, 2);\nfor k = 9:2\n  disp(k)\nend\n"
+      "disp(x)\n");
+  ASSERT_GE(r->absint.findings.size(), 2u) << findings_str(r->absint);
+  for (const AbsFinding& f : r->absint.findings) {
+    EXPECT_TRUE(f.loc.valid()) << f.code << ": " << f.message;
+  }
+}
+
+}  // namespace
+}  // namespace otter::analysis

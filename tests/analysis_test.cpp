@@ -35,19 +35,22 @@ struct LintRun {
 };
 
 /// Compiles `src` (no DSE, so the lint sees every statement) and runs the
-/// linter, collecting its findings in a fresh engine.
+/// linter plus the abstract-interpretation findings (what otterlint does),
+/// collecting everything in a fresh engine.
 LintRun lint_src(const std::string& src,
                  const sema::MFileLoader& loader = {}) {
   LintRun r;
   driver::CompileOptions copts;
   copts.lower.dse = false;
   copts.opt.level = 0;  // lint the raw LIR: every finding stays visible
+  copts.analyze = true;
   r.compiled = driver::compile_script(src, loader, copts);
   EXPECT_TRUE(r.compiled->ok) << r.compiled->diags.to_string();
   if (!r.compiled->ok) return r;
   DiagEngine lint_diags(&r.compiled->sm);
   r.count = run_lint(r.compiled->prog, r.compiled->inf, r.compiled->lir,
                      lint_diags);
+  r.count += report_absint(r.compiled->absint, lint_diags);
   r.findings = lint_diags.diagnostics();
   r.json = lint_diags.to_json();
   return r;
@@ -399,6 +402,9 @@ TEST(LintCorpus, SeededDefectsFlaggedAtSeededLines) {
       {"constant_branch.m", {{"W3205", 4}, {"W3205", 7}}},
       {"shadowed_builtin.m", {{"W3206", 3}}},
       {"loop_invariant_comm.m", {{"W3207", 7}}},
+      {"oob_index.m", {{"W3208", 4}, {"W3208", 5}}},
+      {"zero_trip.m", {{"W3209", 5}}},
+      {"divergent_collective.m", {{"W3210", 7}, {"W3210", 8}}},
       {"clean.m", {}},
   };
   const fs::path dir = OTTER_LINT_CORPUS_DIR;
@@ -425,7 +431,7 @@ TEST(LintCorpus, EveryWCodeIsSeededSomewhere) {
     for (const Diagnostic& d : r.findings) seen.insert(d.code);
   }
   for (const char* code : {"W3201", "W3202", "W3203", "W3204", "W3205",
-                           "W3206", "W3207"}) {
+                           "W3206", "W3207", "W3208", "W3209", "W3210"}) {
     EXPECT_TRUE(seen.contains(code)) << code << " never fires in the corpus";
   }
 }

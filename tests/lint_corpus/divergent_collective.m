@@ -1,0 +1,10 @@
+% Seeded defect: a collective matrix product guarded by a rank-divergent
+% condition (W3210 at line 6) — at np > 1 only rank 0 enters the
+% collective, and the run deadlocks (the direct executor's deadlock
+% detector confirms it).
+A = rand(6, 6);
+if rank() == 0
+  B = A * A;
+  disp(B(1, 1))
+end
+disp(A(2, 2))

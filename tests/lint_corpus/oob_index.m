@@ -1,0 +1,6 @@
+% Seeded defect: index provably outside the matrix extents (W3208 at the
+% index expressions on lines 4 and 5).
+A = zeros(4, 4);
+x = A(5, 2);
+A(2, 6) = x;
+disp(A(2, 2))

@@ -1,0 +1,8 @@
+% Seeded defect: counting loop whose bounds can never produce an
+% iteration (W3209 at the range on line 5).
+s = 0;
+n = 3;
+for k = 10:n
+  s = s + k;
+end
+disp(s)

@@ -35,8 +35,12 @@
 //   --budget-seconds=SECS  compile-time wall-clock budget (default 30)
 //   --lint                 run the otterlint static analysis and exit (W3xxx
 //                          findings; exit 0 clean, 1 findings)
-//   --Werror               report lint findings as errors (with --lint this
-//                          makes findings exit with code 65)
+//   --analyze              like --lint, plus the abstract-interpretation
+//                          findings: W3208 (provable out-of-bounds index /
+//                          invalid extent), W3209 (provably zero-trip loop),
+//                          W3210 (rank-divergent communication)
+//   --Werror               report lint findings as errors (with --lint or
+//                          --analyze this makes findings exit with code 65)
 //   --no-verify-lir        skip the post-lowering LIR self-verification
 //   --no-dse               disable the liveness-driven dead-statement
 //                          elimination
@@ -46,6 +50,7 @@
 //                          and loop-invariant communication motion
 //   --no-fuse              keep element-wise chains unfused at -O1/-O2
 //   --no-licm              keep loop-invariant communication in place
+//   --no-guard-elim        keep proven ShapeGuards in the LIR at -O2
 //   --dump-lir=pre-opt|post-opt  print the LIR before or after the
 //                          optimizer and exit (post-opt == --emit=lir)
 //   --mem-mb=N             matrix-memory budget for the run in MiB; past it
@@ -118,12 +123,14 @@ struct Options {
   bool strict_infer = false;
   double budget_seconds = 30.0;
   bool lint = false;
+  bool analyze = false;
   bool werror = false;
   bool verify_lir = true;
   bool dse = true;
   int opt_level = 2;
   bool fuse = true;
   bool licm = true;
+  bool guard_elim = true;
   std::string dump_lir;
   std::string remote;      // otterd socket path; empty = compile locally
   std::string remote_op;   // ping | stats | shutdown (needs --remote)
@@ -146,8 +153,9 @@ int usage() {
       "              [--checkpoint-dir=DIR [--checkpoint=N] [--resume]]\n"
       "              [--diag-format=text|json] [--max-errors=N]\n"
       "              [--strict-infer] [--budget-seconds=SECS]\n"
-      "              [--lint] [--Werror] [--no-verify-lir] [--no-dse]\n"
-      "              [-O0|-O1|-O2] [--no-fuse] [--no-licm]\n"
+      "              [--lint] [--analyze] [--Werror] [--no-verify-lir]\n"
+      "              [--no-dse]\n"
+      "              [-O0|-O1|-O2] [--no-fuse] [--no-licm] [--no-guard-elim]\n"
       "              [--dump-lir=pre-opt|post-opt]\n"
       "              [--mem-mb=N]\n"
       "              [--remote=SOCKET [--op=ping|stats|shutdown]\n"
@@ -198,11 +206,13 @@ bool parse_args(int argc, char** argv, Options& o) try {
     else if (a == "-O2") o.opt_level = 2;
     else if (a == "--no-fuse") o.fuse = false;
     else if (a == "--no-licm") o.licm = false;
+    else if (a == "--no-guard-elim") o.guard_elim = false;
     else if (a == "--no-peephole") o.peephole = false;
     else if (a == "--strict-infer") o.strict_infer = true;
     else if (a == "--resume") o.resume = true;
     else if (a == "--times") o.times = true;
     else if (a == "--lint") o.lint = true;
+    else if (a == "--analyze") o.analyze = true;
     else if (a == "--Werror") o.werror = true;
     else if (a == "--no-verify-lir") o.verify_lir = false;
     else if (a == "--no-dse") o.dse = false;
@@ -428,14 +438,17 @@ int main(int argc, char** argv) {
 
     otter::driver::CompileOptions copts;
     copts.lower.peephole = opt.peephole;
+    bool analyzing = opt.lint || opt.analyze;
     // Lint wants the full LIR: DSE would delete the very dead stores and
     // unused results the analysis reports on.
-    copts.lower.dse = opt.dse && !opt.lint;
+    copts.lower.dse = opt.dse && !analyzing;
     // Lint also wants the unoptimized LIR (the findings describe the
     // program as written); the optimizer's own work is cross-linked below.
-    copts.opt.level = opt.lint ? 0 : opt.opt_level;
+    copts.opt.level = analyzing ? 0 : opt.opt_level;
+    copts.analyze = opt.analyze;
     copts.opt.fuse = opt.fuse;
     copts.opt.licm = opt.licm;
+    copts.opt.guard_elim = opt.guard_elim;
     copts.keep_preopt = (opt.dump_lir == "pre-opt");
     copts.strict_infer = opt.strict_infer;
     copts.max_errors = opt.max_errors;
@@ -448,7 +461,7 @@ int main(int argc, char** argv) {
       return kExitCompile;
     }
 
-    if (opt.lint) {
+    if (analyzing) {
       otter::analysis::LintOptions lopts;
       lopts.werror = opt.werror;
       if (opt.opt_level > 0) {
@@ -466,6 +479,10 @@ int main(int argc, char** argv) {
       }
       size_t findings = otter::analysis::run_lint(
           compiled->prog, compiled->inf, compiled->lir, compiled->diags, lopts);
+      if (opt.analyze) {
+        findings += otter::analysis::report_absint(compiled->absint,
+                                                   compiled->diags, opt.werror);
+      }
       if (!compiled->diags.empty()) print_diags(compiled->diags, opt);
       if (findings == 0) return kExitOk;
       return opt.werror ? kExitCompile : 1;

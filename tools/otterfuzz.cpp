@@ -12,10 +12,18 @@
 //   3. Differential execution: every script in the valid corpus runs through
 //      the baseline interpreter AND the compiled pipeline (direct SPMD
 //      executor at np=1 and np=3); all three outputs must agree exactly.
+//   4. Guard/divergence generator: seeded random scripts mixing provable and
+//      unprovable matrix shapes, reductions (shape guards), and optionally
+//      rank-divergent control around communication. Each script is executed
+//      at -O0 and -O2 on the same ranks and must behave identically — the
+//      differential test for the abstract-interpretation-backed ShapeGuard
+//      elimination. Scripts the analyzer flags W3210 (rank-divergent
+//      communication) are compile-checked but never executed: the flagged
+//      divergence really deadlocks.
 //
 // Usage:
 //   otterfuzz [--seeds=LO:HI] [--mutations=N] [--corpus=DIR] [--no-diff]
-//             [--no-verify-lir] [--max-tokens=N] [--verbose]
+//             [--guards=N] [--no-verify-lir] [--max-tokens=N] [--verbose]
 //
 // Every accepted compile is additionally run through the structural LIR
 // verifier (--verify-lir semantics): a verification failure on an input the
@@ -52,6 +60,7 @@ struct Options {
   uint64_t seed_lo = 0;
   uint64_t seed_hi = 500;
   int mutations = 25;          // per corpus file
+  uint64_t guards = 200;       // generated guard/divergence scripts
   std::string extra_corpus;    // additional directory of .m seeds
   bool diff = true;
   bool verify = true;          // structural LIR verification of accepts
@@ -64,12 +73,15 @@ struct Stats {
   size_t accepted = 0;
   size_t rejected = 0;
   size_t failures = 0;
+  size_t guards_eliminated = 0;  // ShapeGuards deleted across guard scripts
+  size_t divergent_skipped = 0;  // W3210-flagged scripts not executed
 };
 
 int usage() {
   std::cerr << "usage: otterfuzz [--seeds=LO:HI] [--mutations=N]\n"
-               "                 [--corpus=DIR] [--no-diff] [--no-verify-lir]\n"
-               "                 [--max-tokens=N] [--verbose]\n";
+               "                 [--corpus=DIR] [--no-diff] [--guards=N]\n"
+               "                 [--no-verify-lir] [--max-tokens=N]\n"
+               "                 [--verbose]\n";
   return 2;
 }
 
@@ -88,6 +100,8 @@ bool parse_args(int argc, char** argv, Options& o) try {
       o.seed_hi = std::stoull(v->substr(colon + 1));
     } else if (auto v = value("--mutations=")) {
       o.mutations = std::stoi(*v);
+    } else if (auto v = value("--guards=")) {
+      o.guards = std::stoull(*v);
     } else if (auto v = value("--corpus=")) {
       o.extra_corpus = *v;
     } else if (auto v = value("--max-tokens=")) {
@@ -285,6 +299,113 @@ std::string diff_one(const std::string& source) {
   return {};
 }
 
+// -- guard/divergence generator -----------------------------------------------
+
+/// A small random script stressing the abstract interpreter: extents that
+/// are constant, possibly-1 (unprovable), provably >= 2, or symbolically
+/// square; a reduction whose shape guard the -O2 pipeline may eliminate;
+/// and optionally rank-divergent control flow around communication.
+std::string gen_guard_script(uint64_t seed) {
+  Lcg rng(seed * 0x9e3779b97f4a7c15ULL + 3);
+  auto roll = [&](double p) { return rng.next() < p; };
+  std::string s;
+  switch (static_cast<int>(rng.next() * 4)) {
+    case 0:  s += "n = 5;\nm = 7;\n"; break;                      // constant
+    case 1:  s += "n = floor(rand * 6) + 1;\n"
+                  "m = floor(rand * 6) + 1;\n"; break;            // maybe 1
+    case 2:  s += "n = floor(rand * 6) + 2;\n"
+                  "m = floor(rand * 6) + 2;\n"; break;            // >= 2
+    default: s += "n = floor(rand * 6) + 2;\nm = n;\n"; break;    // square
+  }
+  s += roll(0.5) ? "A = zeros(n, m);\n" : "A = rand(n, m);\n";
+  if (roll(0.5)) {
+    s += "for i = 1:n\n  for j = 1:m\n    A(i, j) = i + 2 * j;\n  end\nend\n";
+  }
+  const char* kReds[] = {"sum", "mean", "max", "min"};
+  const char* red = kReds[static_cast<int>(rng.next() * 4)];
+  s += std::string("t = sum(") + red + "(A));\n";
+  double dv = rng.next();
+  if (dv < 0.2) {
+    // Collective under a rank-divergent branch: W3210, deadlocks at np > 1.
+    s += "if rank() == 0\n  u = sum(sum(A));\n  disp(u)\nend\n";
+  } else if (dv < 0.35) {
+    // Rank-tainted loop bound around communication: W3210 as well.
+    s += "r = rank() + 1;\nfor q = 1:r\n  v = sum(sum(A));\n  disp(v)\nend\n";
+  } else if (dv < 0.5) {
+    // Uniform branch around the same communication: must stay clean and
+    // behave identically at both opt levels.
+    s += "if n > 2\n  w = sum(sum(A));\n  disp(w)\nend\n";
+  }
+  s += "disp(t)\n";
+  return s;
+}
+
+/// One execution attempt: the output on success, or the failure code (a
+/// firing E5003 shape guard is legitimate behaviour — it just has to fire
+/// identically at both opt levels).
+struct RunOutcome {
+  bool ok = false;
+  std::string out;  // output, or the failure code/description
+};
+
+RunOutcome run_guard_script(const otter::lower::LProgram& lir, int np,
+                            bool kernels) {
+  RunOutcome r;
+  otter::driver::ExecOptions eopts;
+  eopts.kernels = kernels;
+  try {
+    r.out = otter::driver::run_parallel(
+                lir, otter::mpi::profile_by_name("ideal"), np, eopts)
+                .output;
+    r.ok = true;
+  } catch (const otter::mpi::SpmdFailure& e) {
+    r.out = e.first().code.empty() ? "uncoded failure" : e.first().code;
+  } catch (const std::exception& e) {
+    r.out = e.what();
+  }
+  return r;
+}
+
+/// Compiles `source` at -O0 and -O2 (with the analyzer) and requires
+/// identical behaviour at np=1 and np=3. Returns a problem description, or
+/// empty. Sets *skipped when the script is W3210-flagged (never executed:
+/// the divergence would deadlock — which the absint tests confirm once,
+/// deterministically, rather than this harness re-proving it per seed).
+std::string diff_guard_levels(const std::string& source, Stats& stats,
+                              bool* skipped) {
+  std::unique_ptr<otter::driver::CompileResult> levels[2];
+  for (int i = 0; i < 2; ++i) {
+    otter::driver::CompileOptions copts;
+    copts.opt.level = i == 0 ? 0 : 2;
+    copts.lower.dse = i != 0;
+    copts.analyze = true;
+    copts.budget.max_wall_seconds = 5.0;
+    levels[i] = otter::driver::compile_script(source, {}, copts);
+    if (!levels[i]->ok) {
+      return std::string("generated script failed to compile at ") +
+             (i == 0 ? "-O0" : "-O2") + ":\n" + levels[i]->diags.to_string();
+    }
+  }
+  stats.guards_eliminated +=
+      levels[1]->opt_report.guards_eliminated.size();
+  for (const otter::analysis::AbsFinding& f : levels[0]->absint.findings) {
+    if (f.code == "W3210") {
+      *skipped = true;
+      return {};
+    }
+  }
+  for (int np : {1, 3}) {
+    RunOutcome o0 = run_guard_script(levels[0]->lir, np, /*kernels=*/false);
+    RunOutcome o2 = run_guard_script(levels[1]->lir, np, /*kernels=*/true);
+    if (o0.ok != o2.ok || o0.out != o2.out) {
+      return "np=" + std::to_string(np) +
+             " -O0 and -O2 behaviour diverges\n--- -O0 ---\n" + o0.out +
+             "\n--- -O2 ---\n" + o2.out + "\n--- script ---\n" + source;
+    }
+  }
+  return {};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -372,8 +493,33 @@ int main(int argc, char** argv) {
     }
   }
 
+  // 4. Guard/divergence differential: generated scripts whose shape guards
+  // the -O2 abstract interpreter may eliminate, executed at both opt levels
+  // on the same rank counts. W3210-flagged scripts are compile-checked only.
+  for (uint64_t seed = 0; seed < opt.guards; ++seed) {
+    std::string script = gen_guard_script(seed);
+    ++stats.inputs;
+    bool skipped = false;
+    std::string problem = diff_guard_levels(script, stats, &skipped);
+    if (skipped) {
+      ++stats.divergent_skipped;
+    } else if (!problem.empty()) {
+      ++stats.failures;
+      std::cerr << "otterfuzz: FAIL [guard] seed " << seed << ": " << problem
+                << '\n';
+    } else {
+      ++stats.accepted;
+      if (opt.verbose) {
+        std::cerr << "otterfuzz: guard diff ok: seed " << seed << '\n';
+      }
+    }
+  }
+
   std::cerr << "otterfuzz: " << stats.inputs << " inputs ("
             << stats.accepted << " accepted, " << stats.rejected
-            << " rejected), " << stats.failures << " failures\n";
+            << " rejected), " << stats.guards_eliminated
+            << " guards eliminated, " << stats.divergent_skipped
+            << " divergent scripts skipped, " << stats.failures
+            << " failures\n";
   return stats.failures == 0 ? 0 : 1;
 }

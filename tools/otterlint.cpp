@@ -2,11 +2,12 @@
 //
 // Compiles the script through the full pipeline (the lint checks need the
 // CFG/SSA from inference and the lowered LIR for the communication
-// analysis), runs every W3xxx check, and prints the findings to stdout in
-// text or JSON.
+// analysis), runs every W3xxx check plus the abstract-interpretation
+// findings (W3208-W3210), and prints the findings to stdout in text, JSON,
+// or SARIF 2.1.0 (for editor and CI ingestion).
 //
 // Usage:
-//   otterlint SCRIPT.m [--diag-format=text|json] [--Werror]
+//   otterlint SCRIPT.m [--format=text|json|sarif] [--Werror]
 //
 // Exit codes:
 //   0  clean (no findings)
@@ -14,14 +15,17 @@
 //   64 usage error
 //   65 the script does not compile (diagnostics printed)
 //   66 the input file could not be opened
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
 
+#include "analysis/absint.hpp"
 #include "analysis/lint.hpp"
 #include "driver/pipeline.hpp"
+#include "support/json.hpp"
 
 namespace {
 
@@ -33,12 +37,12 @@ constexpr int kExitNoInput = 66;
 
 struct Options {
   std::string script_path;
-  std::string diag_format = "text";
+  std::string format = "text";
   bool werror = false;
 };
 
 int usage() {
-  std::cerr << "usage: otterlint SCRIPT.m [--diag-format=text|json]"
+  std::cerr << "usage: otterlint SCRIPT.m [--format=text|json|sarif]"
                " [--Werror]\n";
   return kExitUsage;
 }
@@ -51,13 +55,16 @@ bool parse_args(int argc, char** argv, Options& o) {
       if (a.rfind(prefix, 0) == 0) return a.substr(n);
       return std::nullopt;
     };
-    if (auto v = value("--diag-format=")) o.diag_format = *v;
+    if (auto v = value("--format=")) o.format = *v;
+    else if (auto v = value("--diag-format=")) o.format = *v;  // legacy alias
     else if (a == "--Werror") o.werror = true;
     else if (!a.empty() && a[0] == '-') return false;
     else if (o.script_path.empty()) o.script_path = a;
     else return false;
   }
-  if (o.diag_format != "text" && o.diag_format != "json") return false;
+  if (o.format != "text" && o.format != "json" && o.format != "sarif") {
+    return false;
+  }
   return !o.script_path.empty();
 }
 
@@ -66,9 +73,67 @@ std::string dirname_of(const std::string& path) {
   return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
 }
 
+/// SARIF 2.1.0 rendering: one run, one result per diagnostic, rules listed
+/// from the codes that actually fired (registry descriptions live in the
+/// compiler; the ruleId is what CI dashboards key on).
+std::string to_sarif(const otter::DiagEngine& diags, const std::string& uri) {
+  namespace json = otter::json;
+  json::JArray results;
+  json::JArray rules;
+  std::vector<std::string> rule_ids;
+  for (const otter::Diagnostic& d : diags.diagnostics()) {
+    const char* level = d.severity == otter::DiagSeverity::Error ? "error"
+                        : d.severity == otter::DiagSeverity::Warning
+                            ? "warning"
+                            : "note";
+    json::JValue region{json::JObject{}};
+    region.set("startLine", static_cast<double>(d.loc.line));
+    region.set("startColumn", static_cast<double>(d.loc.col));
+    json::JValue artifact{json::JObject{}};
+    artifact.set("uri", uri);
+    json::JValue phys{json::JObject{}};
+    phys.set("artifactLocation", artifact);
+    phys.set("region", region);
+    json::JValue loc{json::JObject{}};
+    loc.set("physicalLocation", phys);
+    json::JValue msg{json::JObject{}};
+    msg.set("text", d.message);
+    json::JValue res{json::JObject{}};
+    res.set("ruleId", d.code);
+    res.set("level", level);
+    res.set("message", msg);
+    res.set("locations", json::JValue(json::JArray{loc}));
+    results.push_back(res);
+    if (std::find(rule_ids.begin(), rule_ids.end(), d.code) ==
+        rule_ids.end()) {
+      rule_ids.push_back(d.code);
+      json::JValue rule{json::JObject{}};
+      rule.set("id", d.code);
+      rules.push_back(rule);
+    }
+  }
+  json::JValue drv{json::JObject{}};
+  drv.set("name", "otterlint");
+  drv.set("rules", json::JValue(std::move(rules)));
+  json::JValue tool{json::JObject{}};
+  tool.set("driver", drv);
+  json::JValue run{json::JObject{}};
+  run.set("tool", tool);
+  run.set("results", json::JValue(std::move(results)));
+  json::JValue root{json::JObject{}};
+  root.set("$schema",
+           "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+           "Schemata/sarif-schema-2.1.0.json");
+  root.set("version", "2.1.0");
+  root.set("runs", json::JValue(json::JArray{run}));
+  return root.dump();
+}
+
 void print_diags(const otter::DiagEngine& diags, const Options& opt) {
-  if (opt.diag_format == "json") {
+  if (opt.format == "json") {
     diags.print_json(std::cout);
+  } else if (opt.format == "sarif") {
+    std::cout << to_sarif(diags, opt.script_path) << '\n';
   } else {
     diags.print(std::cout);
   }
@@ -94,6 +159,7 @@ int main(int argc, char** argv) {
   // (the golden findings describe the program as written, not as optimized).
   copts.lower.dse = false;
   copts.opt.level = 0;
+  copts.analyze = true;  // abstract interpretation (W3208-W3210) always runs
   auto compiled = otter::driver::compile_script(
       ss.str(), otter::driver::dir_loader(dirname_of(opt.script_path)), copts);
   if (!compiled->ok) {
@@ -105,6 +171,8 @@ int main(int argc, char** argv) {
   lopts.werror = opt.werror;
   size_t findings = otter::analysis::run_lint(
       compiled->prog, compiled->inf, compiled->lir, compiled->diags, lopts);
+  findings += otter::analysis::report_absint(compiled->absint, compiled->diags,
+                                             opt.werror);
   if (!compiled->diags.empty()) print_diags(compiled->diags, opt);
   if (findings == 0) return kExitClean;
   return opt.werror ? kExitCompile : kExitFindings;
