@@ -21,7 +21,7 @@ fi
 tmp="$(mktemp -d)"
 trap 'rm -rf "${tmp}"' EXIT
 
-benches=(micro_opt micro_absint micro_checkpoint daemon_throughput
+benches=(micro_opt micro_absint micro_vm micro_checkpoint daemon_throughput
          daemon_isolation fig2_single_cpu fig3_cg fig4_ocean fig5_nbody
          fig6_transitive)
 

@@ -9,6 +9,8 @@
 
 #include "driver/kernel.hpp"
 #include "support/rng.hpp"
+#include "vm/bcgen.hpp"
+#include "vm/vm.hpp"
 
 namespace otter::driver {
 
@@ -198,18 +200,14 @@ class Executor {
       // In place: element l only reads index l of its operands before
       // writing index l, so dst may alias an operand buffer.
       auto ov = dst.local();
-      for (size_t l = 0; l < n; ++l) {
-        ov[l] = k.eval(kmat_ptrs_.data(), kscalar_vals_.data(),
-                       kstack_.data(), l);
-      }
+      k.run(ov.data(), kmat_ptrs_.data(), kscalar_vals_.data(),
+            kstack_.data(), n);
       return Flow::Normal;
     }
     DMat out(comm_, proto.rows(), proto.cols(), proto.layout().dist());
     auto ov = out.local();
-    for (size_t l = 0; l < n; ++l) {
-      ov[l] = k.eval(kmat_ptrs_.data(), kscalar_vals_.data(),
-                     kstack_.data(), l);
-    }
+    k.run(ov.data(), kmat_ptrs_.data(), kscalar_vals_.data(), kstack_.data(),
+          n);
     mat(f, in.dst) = std::move(out);
     return Flow::Normal;
   }
@@ -731,53 +729,7 @@ class Executor {
       }
     }
     if (comm_.rank() != 0) return;
-    // Same formatting loop as the interpreter (shared output format).
-    size_t next = 0;
-    do {
-      size_t consumed = 0;
-      for (size_t i = 0; i < fmt.size(); ++i) {
-        char c = fmt[i];
-        if (c == '\\' && i + 1 < fmt.size()) {
-          char e = fmt[++i];
-          if (e == 'n') out_ << '\n';
-          else if (e == 't') out_ << '\t';
-          else out_ << e;
-          continue;
-        }
-        if (c != '%') {
-          out_ << c;
-          continue;
-        }
-        if (i + 1 < fmt.size() && fmt[i + 1] == '%') {
-          out_ << '%';
-          ++i;
-          continue;
-        }
-        std::string spec = "%";
-        ++i;
-        while (i < fmt.size() && std::string("-+ 0123456789.*").find(fmt[i]) !=
-                                     std::string::npos) {
-          spec += fmt[i++];
-        }
-        if (i >= fmt.size()) break;
-        char conv = fmt[i];
-        spec += conv;
-        double v = next < data.size() ? data[next] : 0.0;
-        if (next < data.size()) {
-          ++next;
-          ++consumed;
-        }
-        char buf[128];
-        if (conv == 'd' || conv == 'i') {
-          std::string s2 = spec.substr(0, spec.size() - 1) + "lld";
-          std::snprintf(buf, sizeof buf, s2.c_str(), static_cast<long long>(v));
-        } else {
-          std::snprintf(buf, sizeof buf, spec.c_str(), v);
-        }
-        out_ << buf;
-      }
-      if (consumed == 0) break;
-    } while (next < data.size());
+    fprintf_stream(out_, fmt, data);
   }
 
   const LProgram& prog_;
@@ -799,8 +751,71 @@ class Executor {
 
 }  // namespace
 
+void fprintf_stream(std::ostream& out, const std::string& fmt,
+                    const std::vector<double>& data) {
+  // Same formatting loop as the interpreter (shared output format).
+  size_t next = 0;
+  do {
+    size_t consumed = 0;
+    for (size_t i = 0; i < fmt.size(); ++i) {
+      char c = fmt[i];
+      if (c == '\\' && i + 1 < fmt.size()) {
+        char e = fmt[++i];
+        if (e == 'n') out << '\n';
+        else if (e == 't') out << '\t';
+        else out << e;
+        continue;
+      }
+      if (c != '%') {
+        out << c;
+        continue;
+      }
+      if (i + 1 < fmt.size() && fmt[i + 1] == '%') {
+        out << '%';
+        ++i;
+        continue;
+      }
+      std::string spec = "%";
+      ++i;
+      while (i < fmt.size() && std::string("-+ 0123456789.*").find(fmt[i]) !=
+                                   std::string::npos) {
+        spec += fmt[i++];
+      }
+      if (i >= fmt.size()) break;
+      char conv = fmt[i];
+      spec += conv;
+      double v = next < data.size() ? data[next] : 0.0;
+      if (next < data.size()) {
+        ++next;
+        ++consumed;
+      }
+      char buf[128];
+      if (conv == 'd' || conv == 'i') {
+        std::string s2 = spec.substr(0, spec.size() - 1) + "lld";
+        std::snprintf(buf, sizeof buf, s2.c_str(), static_cast<long long>(v));
+      } else {
+        std::snprintf(buf, sizeof buf, spec.c_str(), v);
+      }
+      out << buf;
+    }
+    if (consumed == 0) break;
+  } while (next < data.size());
+}
+
 void execute_lir(const LProgram& prog, mpi::Comm& comm, std::ostream& out,
                  const ExecOptions& opts) {
+  if (opts.backend != ExecBackend::Tree) {
+    // Auto resolves to the VM: it is the default tier, and every caller
+    // that wants the tree reference (-O0, differential legs) says so.
+    const vm::BcModule* mod = opts.bytecode;
+    vm::BcModule local;
+    if (mod == nullptr) {
+      local = vm::compile_bytecode(prog);
+      mod = &local;
+    }
+    vm::execute_bytecode(*mod, comm, out, opts);
+    return;
+  }
   Executor ex(prog, comm, out, opts);
   ex.run();
 }

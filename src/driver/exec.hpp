@@ -2,15 +2,33 @@
 // library under minimpi. Semantically identical to the generated C code
 // (both call the same run-time functions); used by tests, examples, and the
 // benchmark harness without needing an external C compiler.
+//
+// Two tiers share this entry point: the original tree walker (the -O0
+// differential-fuzzing reference) and the register-based bytecode VM
+// (src/vm/, the default at -O1/-O2). Both produce identical observable
+// behaviour; ExecOptions::backend selects.
 #pragma once
 
 #include <iosfwd>
+#include <string>
+#include <vector>
 
 #include "driver/checkpoint.hpp"
 #include "lower/lir.hpp"
 #include "minimpi/comm.hpp"
 
+namespace otter::vm {
+struct BcModule;
+struct VmStats;
+}  // namespace otter::vm
+
 namespace otter::driver {
+
+/// Execution tier. `Auto` resolves to the bytecode VM — the modern default;
+/// callers that carry an opt level (otterc, otterd) resolve it themselves
+/// (-O0 -> Tree, -O1/-O2 -> Vm) before execution so the tree walker stays
+/// the -O0 reference tier.
+enum class ExecBackend : uint8_t { Auto, Tree, Vm };
 
 struct ExecOptions {
   uint64_t rand_seed = 1;
@@ -30,6 +48,16 @@ struct ExecOptions {
   /// restores its frame from it on resume. Leave null when calling
   /// execute_lir directly.
   CheckpointCoordinator* checkpoint = nullptr;
+  /// Execution tier (see ExecBackend).
+  ExecBackend backend = ExecBackend::Auto;
+  /// Precompiled bytecode for the VM tier (borrowed; must have been
+  /// compiled from the same LProgram). run_parallel compiles the module
+  /// once before spawning ranks; when null and the VM is selected,
+  /// execute_lir compiles one privately.
+  const vm::BcModule* bytecode = nullptr;
+  /// Optional inline-cache counter sink for the VM tier (shared across
+  /// ranks; flushed once per rank at run end).
+  vm::VmStats* vm_stats = nullptr;
 };
 
 /// Runs the lowered program as this rank's part of the SPMD computation.
@@ -39,5 +67,13 @@ struct ExecOptions {
 /// origin.
 void execute_lir(const lower::LProgram& prog, mpi::Comm& comm,
                  std::ostream& out, const ExecOptions& opts = {});
+
+/// The MATLAB-style fprintf rendering loop shared by the execution tiers
+/// (and mirroring the interpreter's): the format string is consumed
+/// repeatedly until the flattened scalar argument stream is exhausted,
+/// backslash escapes and %% are expanded, and %d/%i convert through
+/// long long.
+void fprintf_stream(std::ostream& out, const std::string& fmt,
+                    const std::vector<double>& data);
 
 }  // namespace otter::driver

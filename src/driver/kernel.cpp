@@ -102,6 +102,53 @@ struct Builder {
   }
 };
 
+/// Recognises the postfix programs that cover nearly all fused statements
+/// in practice (see KPat). Anything else stays Generic.
+void classify(Kernel& k) {
+  auto as_operand = [](const KOp& op, KOperand& o) -> bool {
+    switch (op.k) {
+      case KOp::K::PushMat:
+        o.k = KOperand::K::Mat;
+        o.slot = op.slot;
+        return true;
+      case KOp::K::PushScalar:
+        o.k = KOperand::K::Slot;
+        o.slot = op.slot;
+        return true;
+      case KOp::K::PushImm:
+        o.k = KOperand::K::Imm;
+        o.imm = op.imm;
+        return true;
+      case KOp::K::Bin:
+      case KOp::K::Un:
+        return false;
+    }
+    return false;
+  };
+  const std::vector<KOp>& ops = k.ops;
+  if (ops.size() == 2 && ops[1].k == KOp::K::Un &&
+      as_operand(ops[0], k.o1)) {
+    k.pat = KPat::Un1;
+    k.puop = ops[1].uop;
+    return;
+  }
+  if (ops.size() == 3 && ops[2].k == KOp::K::Bin &&
+      as_operand(ops[0], k.o1) && as_operand(ops[1], k.o2)) {
+    k.pat = KPat::Bin2;
+    k.pbop = ops[2].bop;
+    return;
+  }
+  if (ops.size() == 5 && ops[3].k == KOp::K::Bin &&
+      ops[3].bop == rt::EwBin::Mul && ops[4].k == KOp::K::Bin &&
+      (ops[4].bop == rt::EwBin::Add || ops[4].bop == rt::EwBin::Sub) &&
+      as_operand(ops[0], k.o1) && as_operand(ops[1], k.o2) &&
+      as_operand(ops[2], k.o3)) {
+    k.pat = KPat::Axpy;
+    k.pbop2 = ops[4].bop;
+    return;
+  }
+}
+
 }  // namespace
 
 Kernel compile_kernel(const lower::LExpr& tree) {
@@ -113,6 +160,7 @@ Kernel compile_kernel(const lower::LExpr& tree) {
   Builder b;
   b.build(tree);
   b.k.ok = b.ok && !b.k.ops.empty();
+  if (b.k.ok) classify(b.k);
   return b.k;
 }
 

@@ -35,6 +35,28 @@ struct KOp {
   rt::EwUn uop = rt::EwUn::Neg;
 };
 
+/// One pre-resolved operand of a pattern-specialised kernel: a matrix slot
+/// (indexed per element), a scalar slot, or an immediate.
+struct KOperand {
+  enum class K : uint8_t { Mat, Slot, Imm };
+  K k = K::Imm;
+  uint16_t slot = 0;
+  double imm = 0.0;
+};
+
+/// Whole-kernel shapes with dedicated element loops. The postfix programs
+/// the fuser produces are overwhelmingly a handful of shapes (a single
+/// binary op, a single unary op, or an axpy-style `a +- s .* b`); running
+/// those through the generic per-element postfix interpreter costs several
+/// dispatches plus stack traffic per element. Classified once at kernel
+/// compile time; Generic falls back to the interpreter.
+enum class KPat : uint8_t {
+  Generic,
+  Bin2,  ///< dst[l] = o1 bop o2
+  Un1,   ///< dst[l] = uop(o1)
+  Axpy,  ///< dst[l] = o1 bop2 (o2 * o3), bop2 in {Add, Sub}
+};
+
 /// A compiled LExpr tree. `ok == false` means the tree cannot be kernelized
 /// (it draws rand, whose per-element semantics a once-per-statement slot
 /// would change) and the caller must fall back to tree walking.
@@ -48,6 +70,15 @@ struct Kernel {
   std::vector<const lower::LExpr*> scalars;
   size_t max_stack = 0;
   bool ok = false;
+
+  /// Pattern specialisation (see KPat). Operand order and the exact
+  /// ew_apply_* call sequence match the postfix interpreter, so the two
+  /// paths produce bit-identical results.
+  KPat pat = KPat::Generic;
+  KOperand o1, o2, o3;
+  rt::EwBin pbop = rt::EwBin::Add;   ///< Bin2's operator
+  rt::EwBin pbop2 = rt::EwBin::Add;  ///< Axpy's outer Add/Sub
+  rt::EwUn puop = rt::EwUn::Neg;     ///< Un1's operator
 
   /// Evaluates the postfix program for local element `l`. `mat_ptrs[i]` is
   /// the local buffer of matrix slot i, `scalar_vals[i]` the pre-evaluated
@@ -77,6 +108,67 @@ struct Kernel {
       }
     }
     return stack[0];
+  }
+
+  /// Runs the kernel over all `n` local elements into `dst`. Equivalent to
+  /// calling eval() for every l in [0, n) but dispatches the pattern once
+  /// per statement instead of interpreting postfix per element. Safe when
+  /// dst aliases an operand buffer: element l is fully read before dst[l]
+  /// is written, matching the per-element loop's aliasing contract.
+  void run(double* dst, const double* const* mat_ptrs,
+           const double* scalar_vals, double* stack, size_t n) const {
+    // Non-matrix operands walk a zero-stride pointer so every pattern loop
+    // is a plain pointer walk with no per-element kind dispatch.
+    auto bind = [&](const KOperand& o, double& imm_box,
+                    size_t& step) -> const double* {
+      switch (o.k) {
+        case KOperand::K::Mat:
+          step = 1;
+          return mat_ptrs[o.slot];
+        case KOperand::K::Slot:
+          step = 0;
+          return &scalar_vals[o.slot];
+        case KOperand::K::Imm:
+          break;
+      }
+      step = 0;
+      imm_box = o.imm;
+      return &imm_box;
+    };
+    double c1 = 0.0, c2 = 0.0, c3 = 0.0;
+    size_t s1 = 0, s2 = 0, s3 = 0;
+    switch (pat) {
+      case KPat::Bin2: {
+        const double* p1 = bind(o1, c1, s1);
+        const double* p2 = bind(o2, c2, s2);
+        for (size_t l = 0; l < n; ++l, p1 += s1, p2 += s2) {
+          dst[l] = rt::ew_apply_bin(pbop, *p1, *p2);
+        }
+        return;
+      }
+      case KPat::Un1: {
+        const double* p1 = bind(o1, c1, s1);
+        for (size_t l = 0; l < n; ++l, p1 += s1) {
+          dst[l] = rt::ew_apply_un(puop, *p1);
+        }
+        return;
+      }
+      case KPat::Axpy: {
+        const double* p1 = bind(o1, c1, s1);
+        const double* p2 = bind(o2, c2, s2);
+        const double* p3 = bind(o3, c3, s3);
+        for (size_t l = 0; l < n; ++l, p1 += s1, p2 += s2, p3 += s3) {
+          dst[l] = rt::ew_apply_bin(
+              pbop2, *p1, rt::ew_apply_bin(rt::EwBin::Mul, *p2, *p3));
+        }
+        return;
+      }
+      case KPat::Generic:
+        break;
+    }
+    for (size_t l = 0; l < n; ++l) {
+      dst[l] = eval(mat_ptrs, scalar_vals, stack, l);
+    }
   }
 };
 

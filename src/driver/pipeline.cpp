@@ -10,6 +10,7 @@
 #include "interp/interp.hpp"
 #include "support/governor.hpp"
 #include "support/rng.hpp"
+#include "vm/bcgen.hpp"
 
 namespace otter::driver {
 
@@ -103,6 +104,14 @@ ParallelRun run_parallel(const lower::LProgram& lir,
       result.resumed_statement = co->resume_statement();
     }
     eopts.checkpoint = co.get();
+  }
+  // Compile the bytecode module once, outside the rank threads: the module
+  // is immutable and shared, so N ranks must not each pay (or race on)
+  // compilation. Tree-tier runs skip it entirely.
+  vm::BcModule bytecode;
+  if (eopts.backend != ExecBackend::Tree && eopts.bytecode == nullptr) {
+    bytecode = vm::compile_bytecode(lir);
+    eopts.bytecode = &bytecode;
   }
   result.times = mpi::run_spmd(
       profile, nranks,

@@ -123,53 +123,6 @@ size_t DMat::local_index(size_t r, size_t c) const {
 
 // -- element-wise scalar kernels ------------------------------------------------
 
-double ew_apply_bin(EwBin op, double a, double b) {
-  switch (op) {
-    case EwBin::Add: return a + b;
-    case EwBin::Sub: return a - b;
-    case EwBin::Mul: return a * b;
-    case EwBin::Div: return a / b;
-    case EwBin::Pow: return std::pow(a, b);
-    case EwBin::Lt: return a < b ? 1.0 : 0.0;
-    case EwBin::Le: return a <= b ? 1.0 : 0.0;
-    case EwBin::Gt: return a > b ? 1.0 : 0.0;
-    case EwBin::Ge: return a >= b ? 1.0 : 0.0;
-    case EwBin::Eq: return a == b ? 1.0 : 0.0;
-    case EwBin::Ne: return a != b ? 1.0 : 0.0;
-    case EwBin::And: return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
-    case EwBin::Or: return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
-    case EwBin::Mod: {
-      if (b == 0.0) return a;
-      double r = std::fmod(a, b);
-      if (r != 0.0 && ((r < 0) != (b < 0))) r += b;
-      return r;
-    }
-    case EwBin::Rem: return std::fmod(a, b);
-    case EwBin::Min: return std::min(a, b);
-    case EwBin::Max: return std::max(a, b);
-  }
-  return 0.0;
-}
-
-double ew_apply_un(EwUn op, double a) {
-  switch (op) {
-    case EwUn::Neg: return -a;
-    case EwUn::Not: return a == 0.0 ? 1.0 : 0.0;
-    case EwUn::Abs: return std::fabs(a);
-    case EwUn::Sqrt: return std::sqrt(a);
-    case EwUn::Exp: return std::exp(a);
-    case EwUn::Log: return std::log(a);
-    case EwUn::Sin: return std::sin(a);
-    case EwUn::Cos: return std::cos(a);
-    case EwUn::Tan: return std::tan(a);
-    case EwUn::Floor: return std::floor(a);
-    case EwUn::Ceil: return std::ceil(a);
-    case EwUn::Round: return std::round(a);
-    case EwUn::Sign: return a > 0 ? 1.0 : (a < 0 ? -1.0 : 0.0);
-  }
-  return 0.0;
-}
-
 DMat ew_binary(mpi::Comm& comm, EwBin op, const DMat& a, const DMat& b) {
   if (!a.aligned_with(b)) {
     fail("element-wise op on unaligned operands: " + shape_str(a) + " vs " +

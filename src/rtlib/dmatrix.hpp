@@ -14,6 +14,8 @@
 // so element-wise operations never communicate (paper §3 assumptions 1–3).
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <limits>
 #include <span>
 #include <stdexcept>
@@ -143,8 +145,57 @@ enum class EwUn : uint8_t {
   Neg, Not, Abs, Sqrt, Exp, Log, Sin, Cos, Tan, Floor, Ceil, Round, Sign,
 };
 
-double ew_apply_bin(EwBin op, double a, double b);
-double ew_apply_un(EwUn op, double a);
+// Defined inline: these run once per element per operator in every
+// element-wise loop — the treewalk executor's leaf application, the compiled
+// Kernel's postfix steps, and the bytecode VM's fused superinstructions. An
+// out-of-line call here is a measurable fraction of the VM tier's
+// per-element budget.
+inline double ew_apply_bin(EwBin op, double a, double b) {
+  switch (op) {
+    case EwBin::Add: return a + b;
+    case EwBin::Sub: return a - b;
+    case EwBin::Mul: return a * b;
+    case EwBin::Div: return a / b;
+    case EwBin::Pow: return std::pow(a, b);
+    case EwBin::Lt: return a < b ? 1.0 : 0.0;
+    case EwBin::Le: return a <= b ? 1.0 : 0.0;
+    case EwBin::Gt: return a > b ? 1.0 : 0.0;
+    case EwBin::Ge: return a >= b ? 1.0 : 0.0;
+    case EwBin::Eq: return a == b ? 1.0 : 0.0;
+    case EwBin::Ne: return a != b ? 1.0 : 0.0;
+    case EwBin::And: return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
+    case EwBin::Or: return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
+    case EwBin::Mod: {
+      if (b == 0.0) return a;
+      double r = std::fmod(a, b);
+      if (r != 0.0 && ((r < 0) != (b < 0))) r += b;
+      return r;
+    }
+    case EwBin::Rem: return std::fmod(a, b);
+    case EwBin::Min: return std::min(a, b);
+    case EwBin::Max: return std::max(a, b);
+  }
+  return 0.0;
+}
+
+inline double ew_apply_un(EwUn op, double a) {
+  switch (op) {
+    case EwUn::Neg: return -a;
+    case EwUn::Not: return a == 0.0 ? 1.0 : 0.0;
+    case EwUn::Abs: return std::fabs(a);
+    case EwUn::Sqrt: return std::sqrt(a);
+    case EwUn::Exp: return std::exp(a);
+    case EwUn::Log: return std::log(a);
+    case EwUn::Sin: return std::sin(a);
+    case EwUn::Cos: return std::cos(a);
+    case EwUn::Tan: return std::tan(a);
+    case EwUn::Floor: return std::floor(a);
+    case EwUn::Ceil: return std::ceil(a);
+    case EwUn::Round: return std::round(a);
+    case EwUn::Sign: return a > 0 ? 1.0 : (a < 0 ? -1.0 : 0.0);
+  }
+  return 0.0;
+}
 
 // -- construction -------------------------------------------------------------
 

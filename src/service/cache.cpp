@@ -5,9 +5,10 @@
 namespace otter::service {
 
 std::string artifact_key(const std::string& script_hash, int opt_level,
-                         const std::string& machine, bool strict_infer) {
+                         const std::string& machine, bool strict_infer,
+                         const std::string& backend) {
   return script_hash + "|O" + std::to_string(opt_level) + "|" + machine +
-         (strict_infer ? "|strict" : "");
+         (strict_infer ? "|strict" : "") + "|" + backend;
 }
 
 size_t estimate_artifact_bytes(const lower::LProgram& lir,

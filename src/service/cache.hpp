@@ -1,7 +1,11 @@
 // Content-addressed artifact cache for the compile service.
 //
-// Key: (script hash, opt level, machine profile, strict-inference flag) —
-// everything that can change what the compiler produces. Because the key is
+// Key: (script hash, opt level, machine profile, strict-inference flag,
+// execution backend) — everything that can change what the compiler
+// produces. The backend is part of the key because a VM-tier artifact
+// carries a precompiled bytecode module a tree-tier artifact does not;
+// serving one for the other would either waste the precompile or execute
+// without it. Because the key is
 // content-addressed there is no staleness to invalidate: a changed script is
 // a different key. The only eviction is LRU under a byte budget, so a hot
 // script's compiled LIR stays resident while one-shot scripts age out.
@@ -23,17 +27,30 @@
 #include "driver/pipeline.hpp"
 #include "support/json.hpp"
 
+namespace otter::vm {
+struct BcModule;
+}  // namespace otter::vm
+
 namespace otter::service {
 
-/// Cache key for one compilation configuration of one script.
+/// Cache key for one compilation configuration of one script. `backend` is
+/// the *resolved* execution tier ("vm" or "tree"), never the empty
+/// follow-the-opt-level default: two requests that resolve to the same tier
+/// must share an entry regardless of how they asked for it.
 std::string artifact_key(const std::string& script_hash, int opt_level,
-                         const std::string& machine, bool strict_infer);
+                         const std::string& machine, bool strict_infer,
+                         const std::string& backend);
 
 /// One cached compilation: the full compile result (diagnostics engine,
 /// inference tables, post-optimizer LIR) plus the pre-rendered diagnostics
 /// array so responses never re-walk the DiagEngine of a shared artifact.
+/// VM-tier artifacts also carry the bytecode module compiled once at insert
+/// time, shared read-only by every request that hits the entry.
 struct Artifact {
   std::shared_ptr<const driver::CompileResult> compiled;
+  // Declared after `compiled` so it is destroyed first: the module borrows
+  // the CompileResult's LProgram (kernel slot tables point into the LIR).
+  std::shared_ptr<const vm::BcModule> bytecode;  ///< null for tree tier
   json::JValue diags;  ///< rendered diagnostics (warnings for ok compiles)
   size_t bytes = 0;    ///< estimated resident size, charged to the budget
 };

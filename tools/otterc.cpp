@@ -48,6 +48,13 @@
 //                          propagation, fusion of element-wise chains, and
 //                          dead-result sweeping; -O2 adds communication CSE
 //                          and loop-invariant communication motion
+//   --backend=vm|tree      execution tier for --run=direct: the register
+//                          bytecode VM or the tree-walking executor. Default
+//                          follows the opt level: -O0 runs the tree walker
+//                          (the differential-fuzzing reference), -O1/-O2 run
+//                          the VM. Travels with --remote requests.
+//   --dump-bytecode        print the compiled LIR bytecode (register VM
+//                          form) and exit
 //   --no-fuse              keep element-wise chains unfused at -O1/-O2
 //   --no-licm              keep loop-invariant communication in place
 //   --no-guard-elim        keep proven ShapeGuards in the LIR at -O2
@@ -90,6 +97,7 @@
 #include "service/client.hpp"
 #include "support/governor.hpp"
 #include "support/json.hpp"
+#include "vm/bcgen.hpp"
 
 namespace {
 
@@ -131,6 +139,8 @@ struct Options {
   bool fuse = true;
   bool licm = true;
   bool guard_elim = true;
+  std::string backend;  // "vm" | "tree" | "" = follow the opt level
+  bool dump_bytecode = false;
   std::string dump_lir;
   std::string remote;      // otterd socket path; empty = compile locally
   std::string remote_op;   // ping | stats | shutdown (needs --remote)
@@ -156,6 +166,7 @@ int usage() {
       "              [--lint] [--analyze] [--Werror] [--no-verify-lir]\n"
       "              [--no-dse]\n"
       "              [-O0|-O1|-O2] [--no-fuse] [--no-licm] [--no-guard-elim]\n"
+      "              [--backend=vm|tree] [--dump-bytecode]\n"
       "              [--dump-lir=pre-opt|post-opt]\n"
       "              [--mem-mb=N]\n"
       "              [--remote=SOCKET [--op=ping|stats|shutdown]\n"
@@ -193,7 +204,9 @@ bool parse_args(int argc, char** argv, Options& o) try {
     } else if (auto v = value("--dist=")) {
       o.dist = (*v == "cyclic") ? otter::rt::Dist::Cyclic
                                 : otter::rt::Dist::RowBlock;
-    } else if (auto v = value("--dump-lir=")) o.dump_lir = *v;
+    } else if (auto v = value("--backend=")) o.backend = *v;
+    else if (a == "--dump-bytecode") o.dump_bytecode = true;
+    else if (auto v = value("--dump-lir=")) o.dump_lir = *v;
     else if (auto v = value("--remote=")) o.remote = *v;
     else if (auto v = value("--op=")) o.remote_op = *v;
     else if (auto v = value("--deadline=")) o.deadline = std::stod(*v);
@@ -226,6 +239,9 @@ bool parse_args(int argc, char** argv, Options& o) try {
   if ((o.checkpoint > 0 || o.resume) && o.checkpoint_dir.empty()) return false;
   if (!o.dump_lir.empty() && o.dump_lir != "pre-opt" &&
       o.dump_lir != "post-opt") {
+    return false;
+  }
+  if (!o.backend.empty() && o.backend != "vm" && o.backend != "tree") {
     return false;
   }
   if (!o.remote_op.empty()) {
@@ -288,6 +304,7 @@ int run_remote(const Options& opt, const std::string& source) {
     req.set("machine", opt.machine);
     req.set("opt_level", opt.opt_level);
     req.set("strict_infer", opt.strict_infer);
+    if (!opt.backend.empty()) req.set("backend", opt.backend);
     req.set("rand_seed", opt.seed);
     if (!opt.fault_plan.empty()) req.set("fault_plan", opt.fault_plan);
     if (opt.deadline > 0) req.set("deadline", opt.deadline);
@@ -500,6 +517,12 @@ int main(int argc, char** argv) {
       return kExitOk;
     }
 
+    if (opt.dump_bytecode) {
+      otter::vm::BcModule mod = otter::vm::compile_bytecode(compiled->lir);
+      std::cout << otter::vm::dump_bytecode(mod);
+      return kExitOk;
+    }
+
     if (opt.emit == "ast") {
       std::cout << dump_program(compiled->prog);
       return kExitOk;
@@ -519,6 +542,16 @@ int main(int argc, char** argv) {
     otter::driver::ExecOptions eopts;
     eopts.dist = opt.dist;
     eopts.rand_seed = opt.seed;
+    // Tier selection: an explicit --backend wins; otherwise -O0 keeps the
+    // tree walker (the differential reference) and -O1/-O2 get the VM.
+    if (opt.backend == "tree") {
+      eopts.backend = otter::driver::ExecBackend::Tree;
+    } else if (opt.backend == "vm") {
+      eopts.backend = otter::driver::ExecBackend::Vm;
+    } else {
+      eopts.backend = opt.opt_level == 0 ? otter::driver::ExecBackend::Tree
+                                         : otter::driver::ExecBackend::Vm;
+    }
     eopts.spmd.watchdog_timeout = opt.timeout;
     eopts.spmd.mem_budget_bytes = mem_budget_bytes(opt.mem_mb);
     if (!opt.fault_plan.empty()) {

@@ -10,8 +10,10 @@
 //      directory) are byte-mutated deterministically and recompiled, with
 //      the same no-crash / always-a-diagnostic contract.
 //   3. Differential execution: every script in the valid corpus runs through
-//      the baseline interpreter AND the compiled pipeline (direct SPMD
-//      executor at np=1 and np=3); all three outputs must agree exactly.
+//      the baseline interpreter AND the compiled pipeline at np=1 and np=3 —
+//      the tree-walking executor at -O0 (the reference tier), the tree
+//      executor at -O2, and the register-bytecode VM at -O2; all outputs
+//      must agree exactly.
 //   4. Guard/divergence generator: seeded random scripts mixing provable and
 //      unprovable matrix shapes, reductions (shape guards), and optionally
 //      rank-divergent control around communication. Each script is executed
@@ -267,31 +269,47 @@ std::string diff_one(const std::string& source) {
     return std::string("interpreter failed: ") + e.what();
   }
   otter::mpi::MachineProfile profile = otter::mpi::profile_by_name("ideal");
-  // Pass 1: the LIR exactly as lowered (-O0, no DSE). Pass 2: the full
-  // default pipeline (DSE + the -O2 optimizer + compiled kernels), so every
-  // optimization is differentially tested against the same oracle.
-  for (int level : {0, 2}) {
-    otter::driver::CompileOptions copts;
-    copts.lower.dse = level > 0;
-    copts.opt.level = level;
-    const char* tag = level > 0 ? " (-O2)" : " (-O0)";
-    auto c = otter::driver::compile_script(source, {}, copts);
-    if (!c->ok) {
-      return std::string("valid corpus script failed to compile") + tag +
-             ":\n" + c->diags.to_string();
+  // Leg 1: the tree executor on the LIR exactly as lowered (-O0, no DSE) —
+  // the reference tier. Leg 2: the tree executor on the full default
+  // pipeline (DSE + the -O2 optimizer + compiled kernels). Leg 3: the
+  // register-bytecode VM on the same -O2 LIR, so the default execution tier
+  // is differentially tested against both the interpreter and the walker.
+  struct Leg {
+    int level;
+    otter::driver::ExecBackend backend;
+    const char* tag;
+  };
+  const Leg kLegs[] = {
+      {0, otter::driver::ExecBackend::Tree, " (tree -O0)"},
+      {2, otter::driver::ExecBackend::Tree, " (tree -O2)"},
+      {2, otter::driver::ExecBackend::Vm, " (vm -O2)"},
+  };
+  std::unique_ptr<otter::driver::CompileResult> compiled[3];  // by opt level
+  for (const Leg& leg : kLegs) {
+    if (!compiled[leg.level]) {
+      otter::driver::CompileOptions copts;
+      copts.lower.dse = leg.level > 0;
+      copts.opt.level = leg.level;
+      compiled[leg.level] = otter::driver::compile_script(source, {}, copts);
+      if (!compiled[leg.level]->ok) {
+        return std::string("valid corpus script failed to compile") +
+               leg.tag + ":\n" + compiled[leg.level]->diags.to_string();
+      }
     }
     otter::driver::ExecOptions eopts;
-    eopts.kernels = level > 0;
+    eopts.kernels = leg.level > 0;
+    eopts.backend = leg.backend;
     for (int np : {1, 3}) {
       try {
-        auto run = otter::driver::run_parallel(c->lir, profile, np, eopts);
+        auto run = otter::driver::run_parallel(compiled[leg.level]->lir,
+                                               profile, np, eopts);
         if (run.output != interp_out) {
-          return "np=" + std::to_string(np) + tag +
+          return "np=" + std::to_string(np) + leg.tag +
                  " output diverges from the interpreter\n--- interp ---\n" +
                  interp_out + "--- direct ---\n" + run.output;
         }
       } catch (const std::exception& e) {
-        return "np=" + std::to_string(np) + tag +
+        return "np=" + std::to_string(np) + leg.tag +
                " execution failed: " + e.what();
       }
     }
@@ -349,10 +367,11 @@ struct RunOutcome {
 };
 
 RunOutcome run_guard_script(const otter::lower::LProgram& lir, int np,
-                            bool kernels) {
+                            bool kernels, otter::driver::ExecBackend backend) {
   RunOutcome r;
   otter::driver::ExecOptions eopts;
   eopts.kernels = kernels;
+  eopts.backend = backend;
   try {
     r.out = otter::driver::run_parallel(
                 lir, otter::mpi::profile_by_name("ideal"), np, eopts)
@@ -394,13 +413,26 @@ std::string diff_guard_levels(const std::string& source, Stats& stats,
       return {};
     }
   }
+  using otter::driver::ExecBackend;
   for (int np : {1, 3}) {
-    RunOutcome o0 = run_guard_script(levels[0]->lir, np, /*kernels=*/false);
-    RunOutcome o2 = run_guard_script(levels[1]->lir, np, /*kernels=*/true);
+    RunOutcome o0 = run_guard_script(levels[0]->lir, np, /*kernels=*/false,
+                                     ExecBackend::Tree);
+    RunOutcome o2 = run_guard_script(levels[1]->lir, np, /*kernels=*/true,
+                                     ExecBackend::Tree);
     if (o0.ok != o2.ok || o0.out != o2.out) {
       return "np=" + std::to_string(np) +
              " -O0 and -O2 behaviour diverges\n--- -O0 ---\n" + o0.out +
              "\n--- -O2 ---\n" + o2.out + "\n--- script ---\n" + source;
+    }
+    // The VM on the same -O2 LIR must reproduce the tree tier's behaviour
+    // exactly — including which guard fires and with what code.
+    RunOutcome ovm = run_guard_script(levels[1]->lir, np, /*kernels=*/true,
+                                     ExecBackend::Vm);
+    if (o2.ok != ovm.ok || o2.out != ovm.out) {
+      return "np=" + std::to_string(np) +
+             " tree and vm behaviour diverges at -O2\n--- tree ---\n" +
+             o2.out + "\n--- vm ---\n" + ovm.out + "\n--- script ---\n" +
+             source;
     }
   }
   return {};
